@@ -1,0 +1,532 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per artifact) plus ablation benches for the design choices called out in
+// DESIGN.md. `go test -bench=. -benchmem` runs the whole evaluation at a
+// small dataset scale; `cmd/hgbench` prints the full paper-style rows.
+//
+// Absolute numbers differ from the paper (synthetic scaled datasets, one
+// machine); the *shapes* — who wins, the candidate-filtering funnel, the
+// memory gap between schedulers — are the reproduction targets recorded in
+// EXPERIMENTS.md.
+package hgmatch_test
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"hgmatch"
+	"hgmatch/internal/baseline"
+	"hgmatch/internal/bipartite"
+	"hgmatch/internal/core"
+	"hgmatch/internal/datagen"
+	"hgmatch/internal/engine"
+	"hgmatch/internal/experiments"
+	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/querygen"
+	"hgmatch/internal/setops"
+)
+
+// benchCfg is the shared small-scale configuration for figure benches.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Scale:             0.005,
+		Seed:              1,
+		QueriesPerSetting: 5,
+		Timeout:           500 * time.Millisecond,
+		Workers:           4,
+		MaxEmbeddings:     500_000,
+		Settings:          []string{"q2", "q3"},
+	}
+}
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+func benchSuite() *experiments.Suite {
+	suiteOnce.Do(func() { suite = experiments.NewSuite(benchCfg()) })
+	return suite
+}
+
+// workload returns a cached medium dataset and one q3 query for kernel
+// benches.
+var (
+	wlOnce  sync.Once
+	wlData  *hypergraph.Hypergraph
+	wlQuery *hypergraph.Hypergraph
+)
+
+func workload() (*hypergraph.Hypergraph, *hypergraph.Hypergraph) {
+	wlOnce.Do(func() {
+		// SB (senate bills) has two labels and mid-size arities, so q3
+		// queries produce large result sets — enough work to exercise the
+		// scheduler, stealing and memory behaviour.
+		p, _ := datagen.ProfileByName("SB")
+		wlData = datagen.Generate(p.Scaled(0.05), 3)
+		s, _ := querygen.SettingByName("q3")
+		rng := rand.New(rand.NewSource(5))
+		var best *hypergraph.Hypergraph
+		var bestN uint64
+		for i := 0; i < 8; i++ {
+			q := querygen.Sample(rng, wlData, s)
+			if q == nil {
+				continue
+			}
+			pl, err := core.NewPlan(q, wlData)
+			if err != nil {
+				continue
+			}
+			n := engine.Run(pl, engine.Options{Workers: 2, Limit: 300_000}).Embeddings
+			if best == nil || n > bestN {
+				best, bestN = q, n
+			}
+		}
+		wlQuery = best
+	})
+	return wlData, wlQuery
+}
+
+// BenchmarkTable2DatasetStats regenerates Table II (dataset statistics,
+// including index sizes) per iteration.
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	s := benchSuite()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, _ := s.Table2()
+		if len(rows) != 10 {
+			b.Fatal("bad table2")
+		}
+	}
+}
+
+// BenchmarkFig6EmbeddingDistributions regenerates the embedding-count
+// distributions of Fig. 6 on two representative datasets.
+func BenchmarkFig6EmbeddingDistributions(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Datasets = []string{"HC", "CH"}
+	s := experiments.NewSuite(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := s.Fig6()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig7IndexBuild measures Exp-1: offline preprocessing (table
+// partitioning + inverted hyperedge index construction).
+func BenchmarkFig7IndexBuild(b *testing.B) {
+	h, _ := workload()
+	labels := append([]hypergraph.Label(nil), h.Labels()...)
+	edges := make([][]uint32, h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		edges[e] = append([]uint32(nil), h.Edge(uint32(e))...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rebuilt, err := hypergraph.FromEdges(labels, edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rebuilt.NumPartitions() == 0 {
+			b.Fatal("no partitions")
+		}
+	}
+}
+
+// BenchmarkFig8SingleThread measures Exp-2: each method answering the same
+// query single-threaded. The per-op gap between the HGMatch sub-bench and
+// the others is the paper's Fig. 8 headline.
+func BenchmarkFig8SingleThread(b *testing.B) {
+	h, q := workload()
+	limit := uint64(200_000)
+	b.Run("HGMatch", func(b *testing.B) {
+		p, err := core.NewPlan(q, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			engine.Run(p, engine.Options{Workers: 1, Limit: limit})
+		}
+	})
+	for _, alg := range []baseline.Algorithm{baseline.CFLH, baseline.DAFH, baseline.CECIH} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baseline.Match(q, h, baseline.Options{Algorithm: alg, Limit: limit, Timeout: 2 * time.Second})
+			}
+		})
+	}
+	b.Run("RapidMatch", func(b *testing.B) {
+		qg, dg := bipartite.Convert(q), bipartite.Convert(h)
+		for i := 0; i < b.N; i++ {
+			bipartite.Match(q, qg, dg, bipartite.Options{Limit: limit, Timeout: 2 * time.Second})
+		}
+	})
+}
+
+// BenchmarkTable4CompletionRatio runs the full Fig. 8 / Table IV sweep
+// (all methods × queries with timeouts) on one dataset.
+func BenchmarkTable4CompletionRatio(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Datasets = []string{"CH"}
+	cfg.Settings = []string{"q2"}
+	cfg.QueriesPerSetting = 3
+	s := experiments.NewSuite(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, _, _ := s.Fig8()
+		if len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+// BenchmarkFig9CandidateFiltering measures Exp-3: the instrumented
+// candidate funnel (Candidates -> Filtered -> Embeddings) per query run.
+func BenchmarkFig9CandidateFiltering(b *testing.B) {
+	h, q := workload()
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last engine.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = engine.Run(p, engine.Options{Workers: 1, Limit: 500_000})
+	}
+	b.ReportMetric(float64(last.Counters.Candidates), "candidates")
+	b.ReportMetric(float64(last.Counters.Filtered), "filtered")
+	b.ReportMetric(float64(last.Embeddings), "embeddings")
+}
+
+// BenchmarkFig10Scalability measures Exp-4: the same plan under growing
+// worker counts. On a single-core machine the wall clock stays flat; the
+// reported steals/op and balance metrics still demonstrate scheduling
+// behaviour (DESIGN.md substitution #6).
+func BenchmarkFig10Scalability(b *testing.B) {
+	h, q := workload()
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		workers := workers
+		b.Run(bName("t", workers), func(b *testing.B) {
+			var steals uint64
+			for i := 0; i < b.N; i++ {
+				res := engine.Run(p, engine.Options{Workers: workers, Limit: 500_000})
+				steals = 0
+				for _, w := range res.Workers {
+					steals += w.Steals
+				}
+			}
+			b.ReportMetric(float64(steals), "steals/op")
+		})
+	}
+}
+
+// BenchmarkFig11Scheduling measures Exp-5: task scheduler vs BFS
+// scheduling; the peak-bytes metric is the figure's y-axis.
+func BenchmarkFig11Scheduling(b *testing.B) {
+	h, q := workload()
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		sched engine.Scheduler
+	}{{"Task", engine.SchedulerTask}, {"BFS", engine.SchedulerBFS}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var peak int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := engine.Run(p, engine.Options{Workers: 4, Scheduler: mode.sched, Limit: 500_000})
+				peak = res.PeakTaskBytes
+			}
+			b.ReportMetric(float64(peak), "peak-bytes")
+		})
+	}
+}
+
+// BenchmarkFig12WorkStealing measures Exp-6: dynamic stealing vs static
+// assignment; the balance metric is max/mean per-worker busy time (1.0 =
+// the figure's dashed "perfect balance" line).
+func BenchmarkFig12WorkStealing(b *testing.B) {
+	h, q := workload()
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		nosteal bool
+	}{{"HGMatch", false}, {"HGMatch-NOSTL", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var bal float64
+			for i := 0; i < b.N; i++ {
+				res := engine.Run(p, engine.Options{Workers: 8, DisableStealing: mode.nosteal, Limit: 500_000})
+				bal = busyBalance(res.Workers)
+			}
+			b.ReportMetric(bal, "max/mean-busy")
+		})
+	}
+}
+
+func busyBalance(ws []engine.WorkerStats) float64 {
+	var sum, maxv float64
+	n := 0
+	for _, w := range ws {
+		s := w.BusyTime.Seconds()
+		sum += s
+		if s > maxv {
+			maxv = s
+		}
+		if w.Tasks > 0 {
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	return maxv / (sum / float64(len(ws)))
+}
+
+// BenchmarkFig13CaseStudy measures the §VII-D knowledge-base queries.
+func BenchmarkFig13CaseStudy(b *testing.B) {
+	kb := datagen.GenerateKB(datagen.DefaultKBConfig(), 1)
+	q1, q2 := kb.Query1(), kb.Query2()
+	p1, err := core.NewPlan(q1, kb.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := core.NewPlan(q2, kb.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var n1, n2 uint64
+	for i := 0; i < b.N; i++ {
+		n1 = engine.Run(p1, engine.Options{Workers: 2}).Embeddings
+		n2 = engine.Run(p2, engine.Options{Workers: 2}).Embeddings
+	}
+	b.ReportMetric(float64(n1), "q1-answers")
+	b.ReportMetric(float64(n2), "q2-answers")
+}
+
+// --- Ablation benches (design choices from DESIGN.md §2) ---
+
+// BenchmarkAblationIntersect compares the merge and galloping intersection
+// kernels on skewed posting lists (design choice: set-operation candidate
+// generation, paper §V-B).
+func BenchmarkAblationIntersect(b *testing.B) {
+	small := make([]uint32, 32)
+	big := make([]uint32, 200_000)
+	for i := range small {
+		small[i] = uint32(i * 6000)
+	}
+	for i := range big {
+		big[i] = uint32(i)
+	}
+	b.Run("Gallop", func(b *testing.B) {
+		var dst []uint32
+		for i := 0; i < b.N; i++ {
+			dst = setops.Intersect(dst[:0], small, big) // ratio triggers galloping
+		}
+	})
+	b.Run("MergeOnly", func(b *testing.B) {
+		// Force the linear merge by balancing lengths: replicate small to
+		// defeat the ratio heuristic — measures the kernel HGMatch would
+		// use without galloping.
+		smallish := make([]uint32, len(big)/16)
+		for i := range smallish {
+			smallish[i] = uint32(i * 16)
+		}
+		var dst []uint32
+		for i := 0; i < b.N; i++ {
+			dst = setops.Intersect(dst[:0], smallish, big)
+		}
+	})
+}
+
+// BenchmarkAblationValidation compares HGMatch's O(a_q·|E(q)|) vertex-
+// profile validation against verifying each result by backtracking vertex
+// mapping (what a match-by-vertex finisher would pay).
+func BenchmarkAblationValidation(b *testing.B) {
+	h, q := workload()
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ProfileValidation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.Run(p, engine.Options{Workers: 1, Limit: 20_000})
+		}
+	})
+	b.Run("PlusBacktrackVerify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.Run(p, engine.Options{Workers: 1, Limit: 20_000,
+				OnEmbedding: func(m []hypergraph.EdgeID) {
+					if !core.VerifyEmbedding(q, h, p.Order, m) {
+						b.Fatal("invalid embedding")
+					}
+				}})
+		}
+	})
+}
+
+// BenchmarkAblationMatchingOrder compares Algorithm 3's cardinality order
+// against the worst connected order (largest-cardinality start).
+func BenchmarkAblationMatchingOrder(b *testing.B) {
+	h, q := workload()
+	good, err := core.NewPlan(q, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	worst := worstConnectedOrder(q, h)
+	bad, err := core.NewPlanWithOrder(q, h, worst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("CardinalityOrder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.Run(good, engine.Options{Workers: 1, Limit: 200_000})
+		}
+	})
+	b.Run("WorstConnectedOrder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.Run(bad, engine.Options{Workers: 1, Limit: 200_000})
+		}
+	})
+}
+
+// worstConnectedOrder greedily picks the connected edge with the LARGEST
+// cardinality at each step.
+func worstConnectedOrder(q, h *hypergraph.Hypergraph) []hypergraph.EdgeID {
+	n := q.NumEdges()
+	card := func(e int) int {
+		return h.Cardinality(hypergraph.SignatureOf(q.Edge(uint32(e)), q.Labels()))
+	}
+	start := 0
+	for e := 1; e < n; e++ {
+		if card(e) > card(start) {
+			start = e
+		}
+	}
+	order := []hypergraph.EdgeID{hypergraph.EdgeID(start)}
+	used := map[int]bool{start: true}
+	var vphi []uint32
+	vphi = append(vphi, q.Edge(uint32(start))...)
+	for len(order) < n {
+		best := -1
+		for e := 0; e < n; e++ {
+			if used[e] {
+				continue
+			}
+			if !setops.ContainsAny(vphi, q.Edge(uint32(e))) {
+				continue
+			}
+			if best < 0 || card(e) > card(best) {
+				best = e
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		order = append(order, hypergraph.EdgeID(best))
+		vphi = setops.Union(vphi[:0:0], vphi, q.Edge(uint32(best)))
+	}
+	return order
+}
+
+// BenchmarkAblationPartitioning compares signature-partitioned first-edge
+// matching (a table lookup) against scanning every data hyperedge (what a
+// non-partitioned store would do for SCAN).
+func BenchmarkAblationPartitioning(b *testing.B) {
+	h, q := workload()
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig := p.StepSignature(0)
+	b.Run("PartitionLookup", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = len(p.InitialCandidates())
+		}
+		b.ReportMetric(float64(n), "matches")
+	})
+	b.Run("FullScan", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = 0
+			for e := 0; e < h.NumEdges(); e++ {
+				if hypergraph.SignatureOf(h.Edge(uint32(e)), h.Labels()).Equal(sig) {
+					n++
+				}
+			}
+		}
+		b.ReportMetric(float64(n), "matches")
+	})
+}
+
+// BenchmarkAblationDeque compares the mutex-guarded steal-half deque
+// against the lock-free Chase-Lev steal-one deque (DESIGN.md substitution
+// #3 / paper citation [17]) on the same parallel workload.
+func BenchmarkAblationDeque(b *testing.B) {
+	h, q := workload()
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("StealHalfMutex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.Run(p, engine.Options{Workers: 8, Limit: 200_000})
+		}
+	})
+	b.Run("ChaseLevStealOne", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.Run(p, engine.Options{Workers: 8, StealOne: true, Limit: 200_000})
+		}
+	})
+}
+
+// BenchmarkPublicAPI measures the end-to-end facade path (compile + run)
+// on the paper's Fig. 1 example — the README quickstart cost.
+func BenchmarkPublicAPI(b *testing.B) {
+	data, err := hgmatch.FromEdges(
+		[]hgmatch.Label{0, 2, 0, 0, 1, 2, 0},
+		[][]uint32{{2, 4}, {4, 6}, {0, 1, 2}, {3, 5, 6}, {0, 1, 4, 6}, {2, 3, 4, 5}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query, err := hgmatch.FromEdges(
+		[]hgmatch.Label{0, 2, 0, 0, 1},
+		[][]uint32{{2, 4}, {0, 1, 2}, {0, 1, 3, 4}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := hgmatch.Count(query, data, hgmatch.WithWorkers(1))
+		if err != nil || n != 2 {
+			b.Fatalf("n=%d err=%v", n, err)
+		}
+	}
+}
+
+func bName(prefix string, n int) string {
+	return prefix + "=" + strconv.Itoa(n)
+}

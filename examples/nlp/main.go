@@ -1,0 +1,131 @@
+// Semantic-hypergraph pattern learning (the paper's NLP motivation, after
+// Menezes & Roth's "semantic hypergraphs"): sentences are hyperedges over
+// word vertices labelled by part of speech. Pattern learning selects
+// sentences, infers a query hypergraph, and searches the corpus for other
+// sentences realising the same pattern.
+//
+// This example builds a toy corpus, derives a pattern query from one
+// sentence pair ("subject verb object" sentences sharing their verb), and
+// finds all matching sentence pairs, mirroring the iterate-and-refine loop
+// the paper describes.
+//
+// Run with: go run ./examples/nlp
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hgmatch"
+)
+
+// A tiny tagged vocabulary. In a real pipeline these labels come from a
+// POS tagger.
+var vocabulary = map[string]string{
+	"alice": "NOUN", "bob": "NOUN", "carol": "NOUN", "dave": "NOUN",
+	"graphs": "NOUN", "papers": "NOUN", "coffee": "NOUN", "proofs": "NOUN",
+	"reads": "VERB", "writes": "VERB", "drinks": "VERB", "checks": "VERB",
+	"quickly": "ADV", "carefully": "ADV",
+}
+
+var corpus = []string{
+	"alice reads papers",
+	"bob reads graphs",
+	"carol writes papers",
+	"dave writes proofs",
+	"alice drinks coffee",
+	"bob drinks coffee quickly",
+	"carol checks proofs carefully",
+	"alice writes papers",
+	"dave reads papers",
+}
+
+func main() {
+	dict := hgmatch.NewDict()
+	b := hgmatch.NewBuilder().WithDicts(dict, nil)
+
+	// One vertex per distinct word, labelled by part of speech; one
+	// hyperedge per sentence.
+	wordID := map[string]uint32{}
+	words := []string{}
+	vertexOf := func(w string) uint32 {
+		if v, ok := wordID[w]; ok {
+			return v
+		}
+		pos, ok := vocabulary[w]
+		if !ok {
+			pos = "X"
+		}
+		v := b.AddVertex(dict.Intern(pos))
+		wordID[w] = v
+		words = append(words, w)
+		return v
+	}
+	for _, s := range corpus {
+		var edge []uint32
+		for _, w := range strings.Fields(s) {
+			edge = append(edge, vertexOf(w))
+		}
+		b.AddEdge(edge...)
+	}
+	semantic, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("semantic hypergraph: %d words, %d sentences\n",
+		semantic.NumVertices(), semantic.NumEdges())
+
+	// Pattern inferred from a selected sentence pair: two NOUN-VERB-NOUN
+	// sentences sharing the verb ("different people doing the same thing
+	// to different objects").
+	noun := dict.Intern("NOUN")
+	verb := dict.Intern("VERB")
+	qb := hgmatch.NewBuilder().WithDicts(dict, nil)
+	subj1 := qb.AddVertex(noun)
+	v := qb.AddVertex(verb)
+	obj1 := qb.AddVertex(noun)
+	subj2 := qb.AddVertex(noun)
+	obj2 := qb.AddVertex(noun)
+	qb.AddEdge(subj1, v, obj1)
+	qb.AddEdge(subj2, v, obj2)
+	pattern, err := qb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := hgmatch.Compile(pattern, semantic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pattern plan:", plan.Explain())
+
+	// Hyperedges are vertex sets, so the rendered word order is the
+	// internal vertex order, not the original sentence order.
+	render := func(e hgmatch.EdgeID) string {
+		var ws []string
+		for _, vid := range semantic.Edge(e) {
+			ws = append(ws, words[vid])
+		}
+		return "{" + strings.Join(ws, " ") + "}"
+	}
+
+	seen := map[string]bool{}
+	res := plan.Run(hgmatch.WithCallback(func(m []hgmatch.EdgeID) {
+		// The query is symmetric, so (a,b) and (b,a) both appear; show
+		// each unordered sentence pair once for human validation.
+		a, c := m[0], m[1]
+		if a > c {
+			a, c = c, a
+		}
+		key := fmt.Sprintf("%d-%d", a, c)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		fmt.Printf("  pattern instance: %s + %s\n", render(a), render(c))
+	}))
+	fmt.Printf("found %d embeddings (%d unordered sentence pairs)\n", res.Embeddings, len(seen))
+	// A human would now accept or refine the pattern and iterate — e.g.
+	// requiring the object to be shared instead of the verb.
+}

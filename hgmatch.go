@@ -1,0 +1,288 @@
+// Package hgmatch is a from-scratch Go implementation of HGMatch, the
+// efficient and parallel subhypergraph matching system of Yang, Zhang, Lin,
+// Zhang and Li (ICDE 2023, arXiv:2302.06119).
+//
+// Given a vertex-labelled query hypergraph q and data hypergraph H,
+// subhypergraph matching finds every subhypergraph of H isomorphic to q.
+// HGMatch matches the query hyperedge-by-hyperedge rather than
+// vertex-by-vertex: the data hypergraph is stored in hyperedge tables
+// partitioned by signature (the multiset of member vertex labels) with a
+// lightweight inverted hyperedge index per table, candidate hyperedges are
+// generated purely with set operations over posting lists, and candidate
+// validation compares vertex-profile multisets instead of backtracking.
+// Enumeration runs on a task-based parallel engine with per-worker LIFO
+// deques (bounded memory) and dynamic work stealing (load balance).
+//
+// Quick start:
+//
+//	data, _ := hgmatch.LoadFile("data.hg")
+//	query, _ := hgmatch.LoadFile("query.hg")
+//	res, err := hgmatch.Match(query, data, hgmatch.WithWorkers(8))
+//	fmt.Println(res.Embeddings)
+//
+// Or programmatically:
+//
+//	b := hgmatch.NewBuilder()
+//	v0 := b.AddVertex(0)
+//	v1 := b.AddVertex(1)
+//	b.AddEdge(v0, v1)
+//	h, _ := b.Build()
+//
+// The internal packages implement each subsystem (storage, planner, engine,
+// baselines, generators); this package is the stable public surface.
+package hgmatch
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"hgmatch/internal/core"
+	"hgmatch/internal/dataflow"
+	"hgmatch/internal/engine"
+	"hgmatch/internal/hgio"
+	"hgmatch/internal/hypergraph"
+)
+
+// Hypergraph is an immutable, indexed, vertex-labelled hypergraph. Build
+// one with NewBuilder, FromEdges, Load or LoadFile.
+type Hypergraph = hypergraph.Hypergraph
+
+// Builder incrementally assembles a Hypergraph.
+type Builder = hypergraph.Builder
+
+// Dict interns human-readable label names.
+type Dict = hypergraph.Dict
+
+// Signature is a hyperedge signature: the multiset of member vertex labels.
+type Signature = hypergraph.Signature
+
+// Stats summarises a hypergraph (the columns of the paper's Table II).
+type Stats = hypergraph.Stats
+
+// VertexID, EdgeID and Label alias the dense uint32 identifier spaces.
+type (
+	VertexID = hypergraph.VertexID
+	EdgeID   = hypergraph.EdgeID
+	Label    = hypergraph.Label
+)
+
+// Scheduler selects the parallel engine's scheduling strategy.
+type Scheduler = engine.Scheduler
+
+// Scheduler values.
+const (
+	// SchedulerTask is the bounded-memory task scheduler (default).
+	SchedulerTask = engine.SchedulerTask
+	// SchedulerBFS is the level-synchronous breadth-first scheduler; it
+	// materialises whole intermediate levels and exists mainly for
+	// memory-behaviour comparisons.
+	SchedulerBFS = engine.SchedulerBFS
+)
+
+// NewBuilder returns an empty hypergraph builder.
+func NewBuilder() *Builder { return hypergraph.NewBuilder() }
+
+// NewDict returns an empty label dictionary.
+func NewDict() *Dict { return hypergraph.NewDict() }
+
+// FromEdges builds a hypergraph where vertex i carries labels[i] and each
+// entry of edges is one hyperedge's vertex list.
+func FromEdges(labels []Label, edges [][]uint32) (*Hypergraph, error) {
+	return hypergraph.FromEdges(labels, edges)
+}
+
+// ComputeStats gathers Table II-style statistics.
+func ComputeStats(h *Hypergraph) Stats { return hypergraph.ComputeStats(h) }
+
+// Load reads a hypergraph from r in the text format documented in
+// internal/hgio (lines: "v <label>", "e <v1> <v2> ...").
+func Load(r io.Reader) (*Hypergraph, error) { return hgio.Read(r) }
+
+// LoadFile reads a hypergraph from a file path.
+func LoadFile(path string) (*Hypergraph, error) { return hgio.ReadFile(path) }
+
+// Save writes a hypergraph to w in the text format accepted by Load.
+func Save(w io.Writer, h *Hypergraph) error { return hgio.Write(w, h) }
+
+// SaveFile writes a hypergraph to a file path.
+func SaveFile(path string, h *Hypergraph) error { return hgio.WriteFile(path, h) }
+
+// Plan is a compiled execution plan for one (query, data) pair: the
+// matching order (paper Algorithm 3) plus per-step candidate-generation
+// and validation tables. Plans are immutable and safe to share across
+// goroutines and runs.
+type Plan struct {
+	core *core.Plan
+}
+
+// Compile computes a matching order and compiles a plan. It fails for
+// disconnected queries and queries with more than 64 hyperedges.
+func Compile(query, data *Hypergraph) (*Plan, error) {
+	p, err := core.NewPlan(query, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{core: p}, nil
+}
+
+// CompileWithOrder compiles a plan for a caller-supplied connected matching
+// order (a permutation of the query's hyperedge IDs).
+func CompileWithOrder(query, data *Hypergraph, order []EdgeID) (*Plan, error) {
+	p, err := core.NewPlanWithOrder(query, data, order)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{core: p}, nil
+}
+
+// Order returns the matching order ϕ (query hyperedge IDs).
+func (p *Plan) Order() []EdgeID { return p.core.Order }
+
+// Explain renders the plan's dataflow graph, e.g.
+// "SCAN({u2,u4}) -> EXPAND({u0,u1,u2}) -> SINK".
+func (p *Plan) Explain() string { return dataflow.FromPlan(p.core).Explain() }
+
+// Empty reports whether the plan is provably result-free (some query
+// hyperedge signature has no data partition).
+func (p *Plan) Empty() bool { return p.core.Empty }
+
+// Result reports a match run.
+type Result struct {
+	// Embeddings is the number of subhypergraph embeddings found.
+	Embeddings uint64
+	// Candidates / Filtered / Valid instrument the match-by-hyperedge
+	// pipeline: Algorithm 4 outputs, Observation V.5 survivors, and
+	// validated extensions (the paper's Fig. 9 funnel).
+	Candidates uint64
+	Filtered   uint64
+	Valid      uint64
+	// PeakTasks and PeakTaskBytes report the scheduler's high-water mark
+	// (the quantity Theorem VI.1 bounds).
+	PeakTasks     int64
+	PeakTaskBytes int64
+	// Elapsed is the wall-clock run time; TimedOut reports whether the
+	// run hit the configured timeout (counts are lower bounds then).
+	Elapsed  time.Duration
+	TimedOut bool
+	// Groups holds per-key counts when WithGroupBy was used.
+	Groups map[string]uint64
+}
+
+// Option configures Match / Plan.Run.
+type Option func(*engine.Options)
+
+// WithWorkers sets the thread-pool size p (default GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *engine.Options) { o.Workers = n } }
+
+// WithScheduler selects the scheduling strategy.
+func WithScheduler(s Scheduler) Option { return func(o *engine.Options) { o.Scheduler = s } }
+
+// WithoutWorkStealing disables dynamic work stealing (static initial
+// partitioning only); exists for load-balancing studies.
+func WithoutWorkStealing() Option { return func(o *engine.Options) { o.DisableStealing = true } }
+
+// WithChaseLevDeques switches the per-worker task queues to lock-free
+// Chase-Lev deques (steal one task per steal) instead of the default
+// mutex-guarded steal-half deques. Results are identical; only the
+// scheduling constants differ.
+func WithChaseLevDeques() Option { return func(o *engine.Options) { o.StealOne = true } }
+
+// WithLimit stops the run after n embeddings.
+func WithLimit(n uint64) Option { return func(o *engine.Options) { o.Limit = n } }
+
+// WithTimeout aborts the run after d.
+func WithTimeout(d time.Duration) Option { return func(o *engine.Options) { o.Timeout = d } }
+
+// WithContext aborts the run when ctx is cancelled; cancelled runs report
+// TimedOut with lower-bound counts.
+func WithContext(ctx context.Context) Option {
+	return func(o *engine.Options) { o.Context = ctx }
+}
+
+// WithCallback streams every embedding to fn. The tuple holds the data
+// hyperedge matched to each query hyperedge in matching order; it is
+// reused between calls — copy it to retain. Calls are serialised.
+func WithCallback(fn func(m []EdgeID)) Option {
+	return func(o *engine.Options) { o.OnEmbedding = fn }
+}
+
+// WithFilter drops embeddings failing pred before they are counted (the
+// dataflow FILTER extension operator). pred must be safe for concurrent
+// calls.
+func WithFilter(pred func(m []EdgeID) bool) Option {
+	return func(o *engine.Options) { o.Filter = pred }
+}
+
+// WithGroupBy groups embeddings by key and counts per group (the dataflow
+// AGGREGATE extension operator); results land in Result.Groups. key must
+// be safe for concurrent calls.
+func WithGroupBy(key func(m []EdgeID) string) Option {
+	return func(o *engine.Options) { o.Aggregate = key }
+}
+
+// Run executes the plan and returns counts and stats.
+func (p *Plan) Run(opts ...Option) Result {
+	var eo engine.Options
+	for _, o := range opts {
+		o(&eo)
+	}
+	r := engine.Run(p.core, eo)
+	return Result{
+		Embeddings:    r.Embeddings,
+		Candidates:    r.Counters.Candidates,
+		Filtered:      r.Counters.Filtered,
+		Valid:         r.Counters.Valid,
+		PeakTasks:     r.PeakTasks,
+		PeakTaskBytes: r.PeakTaskBytes,
+		Elapsed:       r.Elapsed,
+		TimedOut:      r.TimedOut,
+		Groups:        r.Groups,
+	}
+}
+
+// Match compiles and runs in one call: it finds all subhypergraph
+// embeddings of query in data.
+func Match(query, data *Hypergraph, opts ...Option) (Result, error) {
+	p, err := Compile(query, data)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Run(opts...), nil
+}
+
+// Count is Match returning only the embedding count.
+func Count(query, data *Hypergraph, opts ...Option) (uint64, error) {
+	r, err := Match(query, data, opts...)
+	return r.Embeddings, err
+}
+
+// VerifyEmbedding checks an (order-aligned) edge tuple against the formal
+// Definition III.3 by exhaustive search; useful in tests of downstream
+// code, never needed in normal operation.
+func VerifyEmbedding(query, data *Hypergraph, order, m []EdgeID) bool {
+	return core.VerifyEmbedding(query, data, order, m)
+}
+
+// VertexMapping assigns a data vertex to every query vertex of an
+// embedding; VertexMapping[u] = f(u).
+type VertexMapping = core.VertexMapping
+
+// VertexMappings reconstructs the vertex-level mappings behind an
+// edge-tuple embedding (HGMatch enumerates hyperedge tuples and never
+// materialises vertex mappings internally; applications that need to know
+// "which entity plays query variable u" call this per result). Vertices
+// with identical profiles are interchangeable, so one embedding can have
+// several mappings; limit bounds how many are returned (0 = all).
+func VertexMappings(query, data *Hypergraph, order, m []EdgeID, limit int) []VertexMapping {
+	return core.VertexMappings(query, data, order, m, limit)
+}
+
+// OneVertexMapping returns a single vertex mapping for an embedding, or
+// nil when the tuple is not a valid embedding.
+func OneVertexMapping(query, data *Hypergraph, order, m []EdgeID) VertexMapping {
+	return core.OneVertexMapping(query, data, order, m)
+}
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

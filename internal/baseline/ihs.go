@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"hgmatch/internal/hypergraph"
+)
+
+// BuildCandidates computes the candidate vertex set C(u) for every query
+// vertex using the incident hyperedge structure (IHS) filter of [30] as
+// described in paper §III-B. A data vertex v enters C(u) iff:
+//
+//  1. Degree and label: l(u) = l(v) and d(u) ≤ d(v).
+//  2. Number of adjacent vertices: |adj(u)| ≤ |adj(v)|.
+//  3. Arity containment: ∀a, |he_a(u)| ≤ |he_a(v)|.
+//  4. Hyperedge labels: every incident hyperedge of u has an incident
+//     hyperedge of v with the same per-label vertex counts (equal
+//     signatures).
+//
+// The paper applies this filter to all extended backtracking baselines
+// (CFL-H, DAF-H, CECI-H), which is what this package does too.
+//
+// Candidate sets are sorted ascending.
+func BuildCandidates(q, h *hypergraph.Hypergraph) [][]uint32 {
+	// Group data vertices by label once.
+	byLabel := make(map[hypergraph.Label][]uint32)
+	for v := 0; v < h.NumVertices(); v++ {
+		l := h.Label(uint32(v))
+		byLabel[l] = append(byLabel[l], uint32(v))
+	}
+
+	// Lazily computed per-data-vertex features.
+	adjCount := make(map[uint32]int)
+	adjOf := func(v uint32) int {
+		if c, ok := adjCount[v]; ok {
+			return c
+		}
+		c := len(h.AdjacentVertices(v))
+		adjCount[v] = c
+		return c
+	}
+	arityHist := make(map[uint32]map[int]int)
+	histOf := func(v uint32) map[int]int {
+		if m, ok := arityHist[v]; ok {
+			return m
+		}
+		m := h.ArityHistogram(v)
+		arityHist[v] = m
+		return m
+	}
+	// Per-data-vertex incident signature set, keyed canonically.
+	sigSet := make(map[uint32]map[string]bool)
+	sigsOf := func(v uint32) map[string]bool {
+		if s, ok := sigSet[v]; ok {
+			return s
+		}
+		s := make(map[string]bool)
+		for _, e := range h.Incident(v) {
+			s[string(h.SignatureOf(e).Key())] = true
+		}
+		sigSet[v] = s
+		return s
+	}
+
+	cands := make([][]uint32, q.NumVertices())
+	for u := 0; u < q.NumVertices(); u++ {
+		uu := uint32(u)
+		du := q.Degree(uu)
+		adjU := len(q.AdjacentVertices(uu))
+		histU := q.ArityHistogram(uu)
+		// Incident signatures of u.
+		var uSigs []string
+		for _, e := range q.Incident(uu) {
+			uSigs = append(uSigs, string(hypergraph.SignatureOf(q.Edge(e), q.Labels()).Key()))
+		}
+
+	dataVertex:
+		for _, v := range byLabel[q.Label(uu)] {
+			// Condition 1: degree (label equality via the byLabel group).
+			if h.Degree(v) < du {
+				continue
+			}
+			// Condition 2: adjacent vertex count.
+			if adjOf(v) < adjU {
+				continue
+			}
+			// Condition 3: arity containment.
+			hv := histOf(v)
+			for a, cu := range histU {
+				if hv[a] < cu {
+					continue dataVertex
+				}
+			}
+			// Condition 4: hyperedge label multisets (signatures).
+			vs := sigsOf(v)
+			for _, s := range uSigs {
+				if !vs[s] {
+					continue dataVertex
+				}
+			}
+			cands[u] = append(cands[u], v)
+		}
+	}
+	return cands
+}

@@ -1,0 +1,171 @@
+package baseline
+
+import (
+	"testing"
+)
+
+// pathAdj builds the primal adjacency of a path v0-v1-...-v(n-1).
+func pathAdj(n int) [][]uint32 {
+	adj := make([][]uint32, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			adj[i] = append(adj[i], uint32(i-1))
+		}
+		if i < n-1 {
+			adj[i] = append(adj[i], uint32(i+1))
+		}
+	}
+	return adj
+}
+
+// cycleAdj builds the primal adjacency of a cycle.
+func cycleAdj(n int) [][]uint32 {
+	adj := make([][]uint32, n)
+	for i := 0; i < n; i++ {
+		adj[i] = []uint32{uint32((i + n - 1) % n), uint32((i + 1) % n)}
+	}
+	return adj
+}
+
+func TestCoreForestLeafPath(t *testing.T) {
+	// A path has no 2-core: endpoints are leaves, interior is forest.
+	tier := coreForestLeaf(5, pathAdj(5))
+	if tier[0] != 2 || tier[4] != 2 {
+		t.Errorf("path endpoints not leaves: %v", tier)
+	}
+	for i := 1; i <= 3; i++ {
+		if tier[i] != 1 {
+			t.Errorf("path interior %d tier %d, want forest(1): %v", i, tier[i], tier)
+		}
+	}
+}
+
+func TestCoreForestLeafCycle(t *testing.T) {
+	// A cycle is entirely 2-core.
+	tier := coreForestLeaf(6, cycleAdj(6))
+	for i, x := range tier {
+		if x != 0 {
+			t.Errorf("cycle vertex %d tier %d, want core(0)", i, x)
+		}
+	}
+}
+
+func TestCoreForestLeafLollipop(t *testing.T) {
+	// Triangle 0-1-2 with a tail 2-3-4: triangle is core, 3 is forest,
+	// 4 is leaf.
+	adj := [][]uint32{
+		{1, 2},
+		{0, 2},
+		{0, 1, 3},
+		{2, 4},
+		{3},
+	}
+	tier := coreForestLeaf(5, adj)
+	for i := 0; i <= 2; i++ {
+		if tier[i] != 0 {
+			t.Errorf("triangle vertex %d tier %d, want core", i, tier[i])
+		}
+	}
+	if tier[3] != 1 {
+		t.Errorf("tail vertex 3 tier %d, want forest", tier[3])
+	}
+	if tier[4] != 2 {
+		t.Errorf("tail end tier %d, want leaf", tier[4])
+	}
+}
+
+// fakeQuery adapts raw adjacency to the VertexOrder interface.
+type fakeQuery struct {
+	adj [][]uint32
+}
+
+func (f fakeQuery) NumVertices() int                   { return len(f.adj) }
+func (f fakeQuery) AdjacentVertices(u uint32) []uint32 { return f.adj[u] }
+func (f fakeQuery) Degree(u uint32) int                { return len(f.adj[u]) }
+
+func TestCFLOrderVisitsCoreFirst(t *testing.T) {
+	// Lollipop again; equal candidate sizes everywhere, so the order must
+	// be driven purely by tiers: all core vertices before forest before
+	// leaf.
+	adj := [][]uint32{
+		{1, 2},
+		{0, 2},
+		{0, 1, 3},
+		{2, 4},
+		{3},
+	}
+	cands := make([][]uint32, 5)
+	for i := range cands {
+		cands[i] = []uint32{0, 1, 2} // equal sizes
+	}
+	order := VertexOrder(fakeQuery{adj}, cands, CFLH)
+	pos := make(map[uint32]int)
+	for i, u := range order {
+		pos[u] = i
+	}
+	for _, coreV := range []uint32{0, 1, 2} {
+		if pos[coreV] > pos[3] || pos[coreV] > pos[4] {
+			t.Fatalf("core vertex %d ordered after forest/leaf: %v", coreV, order)
+		}
+	}
+	if pos[3] > pos[4] {
+		t.Fatalf("forest after leaf: %v", order)
+	}
+}
+
+func TestDAFOrderPrefersSmallCandidates(t *testing.T) {
+	// Path of 4; candidate sizes strictly increasing from vertex 3 down.
+	adj := pathAdj(4)
+	cands := [][]uint32{
+		{0, 1, 2, 3, 4, 5},
+		{0, 1, 2, 3},
+		{0, 1, 2}, // score 1.5
+		{0},       // score 1.0: strictly smallest -> root
+	}
+	order := VertexOrder(fakeQuery{adj}, cands, DAFH)
+	if order[0] != 3 {
+		t.Fatalf("DAF root = %d, want 3 (min |C|/deg): %v", order[0], order)
+	}
+	// Connected growth forces 2 next, then 1, then 0.
+	want := []uint32{3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("DAF order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCECIOrderIsBFS(t *testing.T) {
+	// Star: center 0 adjacent to 1..4; root has the smallest candidates.
+	adj := [][]uint32{{1, 2, 3, 4}, {0}, {0}, {0}, {0}}
+	cands := [][]uint32{{0}, {0, 1}, {0, 1}, {0, 1}, {0, 1}}
+	order := VertexOrder(fakeQuery{adj}, cands, CECIH)
+	if order[0] != 0 {
+		t.Fatalf("CECI root = %d: %v", order[0], order)
+	}
+	// BFS from the center visits all spokes afterwards (sorted).
+	for i, want := range []uint32{0, 1, 2, 3, 4} {
+		if order[i] != want {
+			t.Fatalf("CECI order %v", order)
+		}
+	}
+}
+
+func TestGrowConnectedDisconnectedFallback(t *testing.T) {
+	// Two components: growth must still produce a full permutation.
+	adj := [][]uint32{{1}, {0}, {3}, {2}}
+	cands := [][]uint32{{0}, {0}, {0}, {0}}
+	for _, alg := range []Algorithm{CFLH, DAFH, CECIH} {
+		order := VertexOrder(fakeQuery{adj}, cands, alg)
+		if len(order) != 4 {
+			t.Fatalf("%v: order %v not a permutation", alg, order)
+		}
+		seen := map[uint32]bool{}
+		for _, u := range order {
+			seen[u] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("%v: repeated vertices in %v", alg, order)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"sort"
+
+	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/setops"
+)
+
+// Counters instruments one worker's expansions for the Exp-3 candidate
+// filtering study (paper Fig. 9). They are plain integers owned by a single
+// worker; aggregate across workers with Add.
+type Counters struct {
+	Expansions uint64 // Expand calls (partial embeddings processed)
+	Candidates uint64 // candidates produced by Algorithm 4
+	Filtered   uint64 // candidates surviving the Observation V.5 vertex-count check
+	Valid      uint64 // candidates surviving full profile validation (Algorithm 5)
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Expansions += o.Expansions
+	c.Candidates += o.Candidates
+	c.Filtered += o.Filtered
+	c.Valid += o.Valid
+}
+
+// Scratch holds reusable buffers for Expand so that steady-state expansion
+// performs no heap allocation. One Scratch per worker; never shared.
+type Scratch struct {
+	vcnt    map[uint32]uint8 // data vertex -> d_Hm(v) within the partial embedding
+	nonAdj  []uint32         // V_n_incdt, sorted
+	lists   [][]uint32       // posting lists queued for one union
+	sets    [][]uint32       // the candidate sets C' of Algorithm 4
+	setBufs [][]uint32       // backing storage for sets, reused across calls
+	acc     []uint32         // union accumulator
+	acc2    []uint32         // union/intersection double buffer
+	inter   []uint32         // intersection result buffer
+	inter2  []uint32
+	profs   []profile // data-side profile buffer for validation
+	order   []int     // set-size ordering buffer
+}
+
+// NewScratch returns an empty scratch area.
+func NewScratch() *Scratch {
+	return &Scratch{vcnt: make(map[uint32]uint8, 64)}
+}
+
+// Expand implements one EXPAND step: given a partial embedding m[:depth]
+// aligned with the plan's matching order, it generates the candidate data
+// hyperedges of ϕ[depth] (Algorithm 4), filters them (Observation V.5 and
+// Algorithm 5), and calls emit for every data hyperedge that extends the
+// partial embedding to a valid embedding of the prefix through depth.
+//
+// Expand is safe for concurrent use across workers as long as each worker
+// passes its own Scratch and Counters.
+func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counters, emit func(hypergraph.EdgeID)) {
+	ct.Expansions++
+	st := &p.steps[depth]
+	if st.part == nil {
+		return
+	}
+	data := p.Data
+
+	// d_Hm(v) for every vertex of the partial embedding; len(vcnt) is
+	// |V(Hm)|.
+	clear(sc.vcnt)
+	for k := 0; k < depth; k++ {
+		for _, v := range data.Edge(m[k]) {
+			sc.vcnt[v]++
+		}
+	}
+
+	// V_n_incdt: vertices matched by non-adjacent query hyperedges
+	// (Algorithm 4 line 1).
+	sc.nonAdj = sc.nonAdj[:0]
+	for _, j := range st.nonAdjPos {
+		sc.acc = setops.Union(sc.acc[:0], sc.nonAdj, data.Edge(m[j]))
+		sc.nonAdj, sc.acc = sc.acc, sc.nonAdj
+	}
+
+	// Build C': one candidate hyperedge set per (adjacent edge, shared
+	// vertex) pair (Algorithm 4 lines 3-6).
+	sc.sets = sc.sets[:0]
+	nset := 0
+	for gi := range st.adjGroups {
+		g := &st.adjGroups[gi]
+		fe := data.Edge(m[g.pos])
+		for _, u := range g.us {
+			// V_incdt: vertices of f(e) that may be matched to u
+			// (Observations V.2-V.4).
+			sc.lists = sc.lists[:0]
+			for _, v := range fe {
+				if data.Label(v) != u.label {
+					continue
+				}
+				if sc.vcnt[v] != u.prefDeg {
+					continue
+				}
+				if len(sc.nonAdj) > 0 && setops.Contains(sc.nonAdj, v) {
+					continue
+				}
+				if pl := st.part.Postings(v); len(pl) > 0 {
+					sc.lists = append(sc.lists, pl)
+				}
+			}
+			if len(sc.lists) == 0 {
+				return // some required vertex has no incident candidates
+			}
+			// Union the posting lists into a per-set buffer
+			// (⋃_{v∈V_incdt} he(v, S(eq))).
+			for len(sc.setBufs) <= nset {
+				sc.setBufs = append(sc.setBufs, nil)
+			}
+			buf := sc.setBufs[nset][:0]
+			if len(sc.lists) == 1 {
+				buf = append(buf, sc.lists[0]...)
+			} else {
+				sc.acc = append(sc.acc[:0], sc.lists[0]...)
+				for _, l := range sc.lists[1:] {
+					sc.acc2 = setops.Union(sc.acc2[:0], sc.acc, l)
+					sc.acc, sc.acc2 = sc.acc2, sc.acc
+				}
+				buf = append(buf, sc.acc...)
+			}
+			sc.setBufs[nset] = buf
+			sc.sets = append(sc.sets, buf)
+			nset++
+		}
+	}
+	if len(sc.sets) == 0 {
+		// Cannot happen for a validated connected order at depth ≥ 1,
+		// but keep the invariant locally obvious.
+		return
+	}
+
+	// Intersect all candidate sets, smallest first (Algorithm 4 line 7).
+	sc.order = sc.order[:0]
+	for i := range sc.sets {
+		sc.order = append(sc.order, i)
+	}
+	sort.Slice(sc.order, func(a, b int) bool { return len(sc.sets[sc.order[a]]) < len(sc.sets[sc.order[b]]) })
+	cand := sc.sets[sc.order[0]]
+	for _, oi := range sc.order[1:] {
+		if len(cand) == 0 {
+			return
+		}
+		sc.inter2 = setops.Intersect(sc.inter2[:0], cand, sc.sets[oi])
+		cand = sc.inter2
+		sc.inter, sc.inter2 = sc.inter2, sc.inter
+	}
+
+	// Emit validated candidates.
+	hmVerts := len(sc.vcnt)
+candidates:
+	for _, c := range cand {
+		// A data hyperedge cannot serve two query hyperedges: distinct
+		// query edges have distinct vertex sets, so injective mappings
+		// give distinct images.
+		for k := 0; k < depth; k++ {
+			if m[k] == c {
+				continue candidates
+			}
+		}
+		ct.Candidates++
+		if !p.validateStep(st, depth, m, c, hmVerts, sc, ct) {
+			continue
+		}
+		ct.Valid++
+		emit(c)
+	}
+}
+
+// CandidatesOnly runs Algorithm 4 without validation and returns the raw
+// candidate set (post intersection and duplicate-edge filter, before the
+// Observation V.5 / Algorithm 5 checks); used by tests and the ablation
+// benchmarks.
+func (p *Plan) CandidatesOnly(depth int, m []hypergraph.EdgeID) []hypergraph.EdgeID {
+	sc := NewScratch()
+	var ct Counters
+	var out []hypergraph.EdgeID
+	p.expandRaw(depth, m, sc, &ct, &out)
+	return out
+}
+
+// expandRaw produces the post-intersection candidate list (after the
+// duplicate-edge filter, before Observation V.5 / Algorithm 5).
+func (p *Plan) expandRaw(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counters, out *[]hypergraph.EdgeID) {
+	st := &p.steps[depth]
+	if st.part == nil {
+		return
+	}
+	data := p.Data
+	clear(sc.vcnt)
+	for k := 0; k < depth; k++ {
+		for _, v := range data.Edge(m[k]) {
+			sc.vcnt[v]++
+		}
+	}
+	sc.nonAdj = sc.nonAdj[:0]
+	for _, j := range st.nonAdjPos {
+		sc.acc = setops.Union(sc.acc[:0], sc.nonAdj, data.Edge(m[j]))
+		sc.nonAdj, sc.acc = sc.acc, sc.nonAdj
+	}
+	sc.sets = sc.sets[:0]
+	nset := 0
+	for gi := range st.adjGroups {
+		g := &st.adjGroups[gi]
+		fe := data.Edge(m[g.pos])
+		for _, u := range g.us {
+			sc.lists = sc.lists[:0]
+			for _, v := range fe {
+				if data.Label(v) != u.label || sc.vcnt[v] != u.prefDeg {
+					continue
+				}
+				if len(sc.nonAdj) > 0 && setops.Contains(sc.nonAdj, v) {
+					continue
+				}
+				if pl := st.part.Postings(v); len(pl) > 0 {
+					sc.lists = append(sc.lists, pl)
+				}
+			}
+			if len(sc.lists) == 0 {
+				return
+			}
+			for len(sc.setBufs) <= nset {
+				sc.setBufs = append(sc.setBufs, nil)
+			}
+			buf := sc.setBufs[nset][:0]
+			sc.acc = sc.acc[:0]
+			for i, l := range sc.lists {
+				if i == 0 {
+					sc.acc = append(sc.acc, l...)
+					continue
+				}
+				sc.acc2 = setops.Union(sc.acc2[:0], sc.acc, l)
+				sc.acc, sc.acc2 = sc.acc2, sc.acc
+			}
+			buf = append(buf, sc.acc...)
+			sc.setBufs[nset] = buf
+			sc.sets = append(sc.sets, buf)
+			nset++
+		}
+	}
+	if len(sc.sets) == 0 {
+		return
+	}
+	cand := sc.sets[0]
+	for _, s := range sc.sets[1:] {
+		if len(cand) == 0 {
+			return
+		}
+		sc.inter2 = setops.Intersect(sc.inter2[:0], cand, s)
+		cand = sc.inter2
+		sc.inter, sc.inter2 = sc.inter2, sc.inter
+	}
+candidates:
+	for _, c := range cand {
+		for k := 0; k < depth; k++ {
+			if m[k] == c {
+				continue candidates
+			}
+		}
+		ct.Candidates++
+		*out = append(*out, c)
+	}
+}

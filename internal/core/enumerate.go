@@ -1,0 +1,51 @@
+package core
+
+import "hgmatch/internal/hypergraph"
+
+// EnumerateSequential runs the full HGMatch framework (Algorithm 2) on the
+// calling goroutine with depth-first task order, invoking emit for every
+// embedding. The slice passed to emit is reused; callers must copy it if
+// they retain it. It returns the instrumentation counters.
+//
+// This is the single-thread reference used by tests and the single-thread
+// experiments; the parallel engine in internal/engine produces identical
+// results with p workers.
+func (p *Plan) EnumerateSequential(emit func(m []hypergraph.EdgeID)) Counters {
+	var ct Counters
+	if p.Empty {
+		return ct
+	}
+	// One scratch per depth: Expand is in the middle of iterating its own
+	// scratch buffers when emit recurses, so recursion levels must not
+	// share a Scratch.
+	n := p.NumSteps()
+	scratches := make([]*Scratch, n)
+	for i := range scratches {
+		scratches[i] = NewScratch()
+	}
+	m := make([]hypergraph.EdgeID, n)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == n {
+			emit(m)
+			return
+		}
+		p.Expand(depth, m, scratches[depth], &ct, func(c hypergraph.EdgeID) {
+			m[depth] = c
+			rec(depth + 1)
+		})
+	}
+	for _, e := range p.InitialCandidates() {
+		m[0] = e
+		ct.Valid++ // first-hyperedge matches are valid by signature equality
+		rec(1)
+	}
+	return ct
+}
+
+// CountSequential counts embeddings without materialising them.
+func (p *Plan) CountSequential() (uint64, Counters) {
+	var n uint64
+	ct := p.EnumerateSequential(func([]hypergraph.EdgeID) { n++ })
+	return n, ct
+}

@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hgmatch/internal/core"
+	"hgmatch/internal/hgtest"
+	"hgmatch/internal/hypergraph"
+)
+
+// TestSelfMatchIdentity: matching a connected hypergraph against itself
+// must find the identity embedding (each query hyperedge mapped to
+// itself). This is a strong end-to-end invariant: it exercises ordering,
+// candidate generation and validation together on arbitrary structures.
+func TestSelfMatchIdentity(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+			NumVertices: 10, NumEdges: 8, NumLabels: 3, MaxArity: 4,
+		})
+		// Use a connected sample of itself as both query and data so the
+		// query is guaranteed connected.
+		q := hgtest.ConnectedQueryFromWalk(rng, base, min(4, base.NumEdges()))
+		if q == nil {
+			continue
+		}
+		p, err := core.NewPlan(q, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		foundIdentity := false
+		p.EnumerateSequential(func(m []hypergraph.EdgeID) {
+			identity := true
+			for i, e := range m {
+				if e != p.Order[i] {
+					identity = false
+					break
+				}
+			}
+			if identity {
+				foundIdentity = true
+			}
+		})
+		if !foundIdentity {
+			t.Fatalf("seed %d: self-match lost the identity embedding (query %v)", seed, q)
+		}
+	}
+}
+
+// TestSingleEdgeCountEqualsCardinality: for a one-hyperedge query, the
+// embedding count must equal the signature's table cardinality
+// (Definition V.2) — the SCAN operator's contract.
+func TestSingleEdgeCountEqualsCardinality(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+			NumVertices: 20, NumEdges: 50, NumLabels: 2, MaxArity: 4,
+		})
+		q := hgtest.ConnectedQueryFromWalk(rng, h, 1)
+		if q == nil {
+			continue
+		}
+		p, err := core.NewPlan(q, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := p.CountSequential()
+		sig := hypergraph.SignatureOf(q.Edge(0), q.Labels())
+		want := uint64(h.Cardinality(sig))
+		if got != want {
+			t.Fatalf("seed %d: single-edge count %d != cardinality %d", seed, got, want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+
+	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/setops"
+)
+
+// VertexMapping is one injective vertex assignment f : V(q) → V(H)
+// realising an embedding; VertexMapping[u] = f(u).
+type VertexMapping []hypergraph.VertexID
+
+// VertexMappings reconstructs the vertex-level mappings behind one
+// edge-tuple embedding (order-aligned, as produced by the engine).
+//
+// HGMatch deliberately never materialises vertex mappings during
+// enumeration — Theorem V.2 only needs profile multisets — but downstream
+// applications (e.g. question answering, §VII-D) want to know which data
+// vertex plays each query vertex. Reconstruction follows the proof of
+// Theorem V.2: vertices with equal profiles are interchangeable, so we
+// group both sides by profile and take the cross-product of per-group
+// bijections. limit bounds the number of mappings returned (0 = all);
+// an embedding with k non-trivial automorphism groups can have
+// factorially many mappings.
+//
+// It returns nil if m is not a valid embedding.
+func VertexMappings(q, h *hypergraph.Hypergraph, order, m []hypergraph.EdgeID, limit int) []VertexMapping {
+	if len(order) != len(m) || len(order) != q.NumEdges() {
+		return nil
+	}
+	// Profile of every query vertex / data vertex over the full tuple,
+	// encoded as (label, incidence bitmask over order positions).
+	type pkey struct {
+		label hypergraph.Label
+		mask  uint64
+	}
+	qProf := make(map[pkey][]uint32)
+	var qVerts []uint32
+	for u := uint32(0); int(u) < q.NumVertices(); u++ {
+		var mask uint64
+		for i, qe := range order {
+			if setops.Contains(q.Edge(qe), u) {
+				mask |= 1 << uint(i)
+			}
+		}
+		if mask == 0 {
+			continue // not part of the query's edge structure
+		}
+		k := pkey{label: q.Label(u), mask: mask}
+		qProf[k] = append(qProf[k], u)
+		qVerts = append(qVerts, u)
+	}
+	dProf := make(map[pkey][]uint32)
+	dSeen := make(map[uint32]bool)
+	for i, de := range m {
+		_ = i
+		for _, v := range h.Edge(de) {
+			if dSeen[v] {
+				continue
+			}
+			dSeen[v] = true
+			var mask uint64
+			for j, de2 := range m {
+				if setops.Contains(h.Edge(de2), v) {
+					mask |= 1 << uint(j)
+				}
+			}
+			k := pkey{label: h.Label(v), mask: mask}
+			dProf[k] = append(dProf[k], v)
+		}
+	}
+	// Validity: group sizes must agree everywhere.
+	if len(qProf) != len(dProf) {
+		return nil
+	}
+	type group struct {
+		us, vs []uint32
+	}
+	var groups []group
+	for k, us := range qProf {
+		vs, ok := dProf[k]
+		if !ok || len(vs) != len(us) {
+			return nil
+		}
+		groups = append(groups, group{us: us, vs: vs})
+	}
+	// Deterministic output order.
+	sort.Slice(groups, func(a, b int) bool { return groups[a].us[0] < groups[b].us[0] })
+
+	out := []VertexMapping{}
+	cur := make(VertexMapping, q.NumVertices())
+	for i := range cur {
+		cur[i] = ^hypergraph.VertexID(0)
+	}
+	var rec func(g int)
+	done := false
+	rec = func(g int) {
+		if done {
+			return
+		}
+		if g == len(groups) {
+			out = append(out, append(VertexMapping(nil), cur...))
+			if limit > 0 && len(out) >= limit {
+				done = true
+			}
+			return
+		}
+		gr := groups[g]
+		// Permute vs over us.
+		perm := make([]uint32, len(gr.vs))
+		copy(perm, gr.vs)
+		var permute func(i int)
+		permute = func(i int) {
+			if done {
+				return
+			}
+			if i == len(perm) {
+				for j, u := range gr.us {
+					cur[u] = perm[j]
+				}
+				rec(g + 1)
+				return
+			}
+			for j := i; j < len(perm); j++ {
+				perm[i], perm[j] = perm[j], perm[i]
+				permute(i + 1)
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+		}
+		permute(0)
+	}
+	rec(0)
+	return out
+}
+
+// OneVertexMapping returns a single vertex mapping for the embedding, or
+// nil if m is invalid — the common case for applications that just need
+// names for the query variables.
+func OneVertexMapping(q, h *hypergraph.Hypergraph, order, m []hypergraph.EdgeID) VertexMapping {
+	ms := VertexMappings(q, h, order, m, 1)
+	if len(ms) == 0 {
+		return nil
+	}
+	return ms[0]
+}

@@ -1,0 +1,177 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hgmatch/internal/core"
+	"hgmatch/internal/hgtest"
+	"hgmatch/internal/hypergraph"
+)
+
+func TestVertexMappingsFig1(t *testing.T) {
+	q, h := hgtest.Fig1Query(), hgtest.Fig1Data()
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var embeddings [][]hypergraph.EdgeID
+	p.EnumerateSequential(func(m []hypergraph.EdgeID) {
+		embeddings = append(embeddings, append([]hypergraph.EdgeID(nil), m...))
+	})
+	if len(embeddings) != 2 {
+		t.Fatalf("%d embeddings", len(embeddings))
+	}
+	for _, m := range embeddings {
+		ms := core.VertexMappings(q, h, p.Order, m, 0)
+		// All query vertices of Fig.1 have distinct profiles, so exactly
+		// one mapping exists per embedding.
+		if len(ms) != 1 {
+			t.Fatalf("embedding %v: %d mappings, want 1", m, len(ms))
+		}
+		f := ms[0]
+		// Check it is a genuine isomorphism: labels and per-edge images.
+		for u := 0; u < q.NumVertices(); u++ {
+			if h.Label(f[u]) != q.Label(uint32(u)) {
+				t.Errorf("mapping breaks labels at u%d", u)
+			}
+		}
+		for i, qe := range p.Order {
+			img := make(map[uint32]bool)
+			for _, u := range q.Edge(qe) {
+				img[f[u]] = true
+			}
+			for _, v := range h.Edge(m[i]) {
+				if !img[v] {
+					t.Errorf("image of query edge %d misses %d", qe, v)
+				}
+			}
+		}
+		if one := core.OneVertexMapping(q, h, p.Order, m); one == nil {
+			t.Error("OneVertexMapping returned nil for valid embedding")
+		}
+	}
+}
+
+func TestVertexMappingsAutomorphisms(t *testing.T) {
+	// Query edge {A, A} against data edge {A, A}: the two query vertices
+	// share a profile, so both bijections are valid -> 2 mappings.
+	q := hypergraph.MustFromEdges([]uint32{0, 0}, [][]uint32{{0, 1}})
+	h := hypergraph.MustFromEdges([]uint32{0, 0}, [][]uint32{{0, 1}})
+	order := []hypergraph.EdgeID{0}
+	m := []hypergraph.EdgeID{0}
+	ms := core.VertexMappings(q, h, order, m, 0)
+	if len(ms) != 2 {
+		t.Fatalf("%d mappings, want 2 (swap automorphism)", len(ms))
+	}
+	if lim := core.VertexMappings(q, h, order, m, 1); len(lim) != 1 {
+		t.Fatalf("limit=1 returned %d", len(lim))
+	}
+	// Distinct mappings.
+	if ms[0][0] == ms[1][0] {
+		t.Error("duplicate mappings")
+	}
+}
+
+func TestVertexMappingsInvalidTuple(t *testing.T) {
+	q, h := hgtest.Fig1Query(), hgtest.Fig1Data()
+	order := []hypergraph.EdgeID{0, 1, 2}
+	// Mixed tuple from the two embeddings is not a valid embedding.
+	if ms := core.VertexMappings(q, h, order, []hypergraph.EdgeID{0, 2, 5}, 0); ms != nil {
+		t.Errorf("invalid tuple produced mappings %v", ms)
+	}
+	if ms := core.VertexMappings(q, h, order, []hypergraph.EdgeID{0, 2}, 0); ms != nil {
+		t.Error("length mismatch accepted")
+	}
+	if core.OneVertexMapping(q, h, order, []hypergraph.EdgeID{0, 2, 5}) != nil {
+		t.Error("OneVertexMapping accepted invalid tuple")
+	}
+}
+
+// TestVertexMappingsAgreeWithOracle: on random workloads, every
+// reconstructed mapping must satisfy Definition III.3, and the mapping
+// count must match a brute-force bijection enumeration.
+func TestVertexMappingsAgreeWithOracle(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+			NumVertices: 12, NumEdges: 18, NumLabels: 2, MaxArity: 4,
+		})
+		q := hgtest.ConnectedQueryFromWalk(rng, h, 2)
+		if q == nil {
+			continue
+		}
+		p, err := core.NewPlan(q, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.EnumerateSequential(func(m []hypergraph.EdgeID) {
+			ms := core.VertexMappings(q, h, p.Order, m, 0)
+			if len(ms) == 0 {
+				t.Fatalf("seed %d: no mapping for emitted embedding %v", seed, m)
+			}
+			want := bruteForceMappings(q, h, p.Order, m)
+			if len(ms) != want {
+				t.Fatalf("seed %d: %d mappings, brute force %d", seed, len(ms), want)
+			}
+			// No duplicates.
+			seen := map[string]bool{}
+			for _, f := range ms {
+				k := ""
+				for _, v := range f {
+					k += string(rune(v)) + ","
+				}
+				if seen[k] {
+					t.Fatalf("seed %d: duplicate mapping", seed)
+				}
+				seen[k] = true
+			}
+		})
+	}
+}
+
+// bruteForceMappings counts injective label-preserving assignments with
+// exact per-edge images.
+func bruteForceMappings(q, h *hypergraph.Hypergraph, order, m []hypergraph.EdgeID) int {
+	nq := q.NumVertices()
+	f := make([]uint32, nq)
+	used := map[uint32]bool{}
+	count := 0
+	var rec func(u int)
+	rec = func(u int) {
+		if u == nq {
+			count++
+			return
+		}
+	cand:
+		for v := uint32(0); int(v) < h.NumVertices(); v++ {
+			if used[v] || h.Label(v) != q.Label(uint32(u)) {
+				continue
+			}
+			// u ∈ order[i] ⟺ v ∈ m[i].
+			for i, qe := range order {
+				uin := contains(q.Edge(qe), uint32(u))
+				vin := contains(h.Edge(m[i]), v)
+				if uin != vin {
+					continue cand
+				}
+			}
+			f[u] = v
+			used[v] = true
+			rec(u + 1)
+			delete(used, v)
+		}
+	}
+	rec(0)
+	_ = f
+	return count
+}
+
+func contains(s []uint32, x uint32) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+// Package core implements the match-by-hyperedge framework of HGMatch
+// (paper §V): the matching-order planner (Algorithm 3), candidate
+// generation over posting lists with set operations (Algorithm 4,
+// Observations V.1–V.4), and the vertex-profile embedding validation
+// (Algorithm 5, Theorem V.2). A compiled Plan is read-only at execution
+// time so expansions can run on any number of goroutines without
+// synchronisation.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/setops"
+)
+
+// ErrDisconnectedQuery is returned when the query hypergraph has no
+// connected matching order. The paper (like virtually all subgraph-matching
+// work) assumes connected queries; disconnected ones should be split and
+// joined by Cartesian product by the caller.
+var ErrDisconnectedQuery = errors.New("core: query hypergraph is not connected")
+
+// ComputeMatchingOrder implements Algorithm 3: it returns a permutation ϕ
+// of E(q) that starts at the query hyperedge of minimum cardinality in H
+// (Definition V.2) and greedily appends the connected hyperedge minimising
+// Card(e,H) / |Vϕ ∩ e|, i.e. preferring infrequent and highly connected
+// hyperedges early. Cardinality lookups are O(1) table-size fetches.
+//
+// Ties are broken by smaller edge ID so orders are deterministic.
+func ComputeMatchingOrder(q, h *hypergraph.Hypergraph) ([]hypergraph.EdgeID, error) {
+	n := q.NumEdges()
+	if n == 0 {
+		return nil, errors.New("core: empty query")
+	}
+	card := make([]int, n)
+	for e := 0; e < n; e++ {
+		card[e] = h.Cardinality(hypergraph.SignatureOf(q.Edge(uint32(e)), q.Labels()))
+	}
+
+	// Line 1: starting hyperedge of minimal cardinality.
+	start := hypergraph.EdgeID(0)
+	for e := 1; e < n; e++ {
+		if card[e] < card[start] {
+			start = hypergraph.EdgeID(e)
+		}
+	}
+	order := make([]hypergraph.EdgeID, 0, n)
+	order = append(order, start)
+	inOrder := make([]bool, n)
+	inOrder[start] = true
+
+	// Vϕ: vertices covered by the partial order, as a sorted set.
+	vphi := append([]uint32(nil), q.Edge(start)...)
+
+	// Lines 3-5: iteratively add the connected edge with the best
+	// cardinality-to-connectivity ratio.
+	for len(order) < n {
+		bestE := -1
+		var bestNum, bestDen int // compare card/overlap as cross products
+		for e := 0; e < n; e++ {
+			if inOrder[e] {
+				continue
+			}
+			overlap := setops.IntersectCount(vphi, q.Edge(uint32(e)))
+			if overlap == 0 {
+				continue
+			}
+			if bestE < 0 || card[e]*bestDen < bestNum*overlap {
+				bestE, bestNum, bestDen = e, card[e], overlap
+			}
+		}
+		if bestE < 0 {
+			return nil, ErrDisconnectedQuery
+		}
+		order = append(order, hypergraph.EdgeID(bestE))
+		inOrder[bestE] = true
+		vphi = setops.Union(vphi[:0:0], vphi, q.Edge(uint32(bestE)))
+	}
+	return order, nil
+}
+
+// ValidateOrder checks that order is a connected permutation of E(q);
+// HGMatch can execute any connected matching order (paper §V-A).
+func ValidateOrder(q *hypergraph.Hypergraph, order []hypergraph.EdgeID) error {
+	if len(order) != q.NumEdges() {
+		return fmt.Errorf("core: order has %d edges, query has %d", len(order), q.NumEdges())
+	}
+	seen := make([]bool, q.NumEdges())
+	var vphi []uint32
+	for i, e := range order {
+		if int(e) >= q.NumEdges() {
+			return fmt.Errorf("core: order refers to unknown query edge %d", e)
+		}
+		if seen[e] {
+			return fmt.Errorf("core: order repeats query edge %d", e)
+		}
+		seen[e] = true
+		if i > 0 && !setops.ContainsAny(vphi, q.Edge(e)) {
+			return fmt.Errorf("core: order is disconnected at position %d (edge %d)", i, e)
+		}
+		vphi = setops.Union(vphi[:0:0], vphi, q.Edge(e))
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/setops"
+)
+
+// maxQueryEdges bounds |E(q)| so that edge-position sets in vertex profiles
+// fit one machine word. The paper's largest workload uses 6 query
+// hyperedges; 64 is far beyond practical subhypergraph queries.
+const maxQueryEdges = 64
+
+// profile is a vertex profile (Definition V.3) in compiled form: the vertex
+// label and the set of incident matched hyperedges encoded as a bitmask of
+// matching-order positions. Because the plan aligns partial embeddings with
+// the matching order, "set of matched data hyperedges he_q'(u) mapped
+// through f" on the query side and "incident hyperedges within Hm'" on the
+// data side both canonicalise to the same position mask.
+type profile struct {
+	label hypergraph.Label
+	mask  uint64
+}
+
+func profileLess(a, b profile) bool {
+	if a.label != b.label {
+		return a.label < b.label
+	}
+	return a.mask < b.mask
+}
+
+// uReq describes one query vertex u ∈ e ∩ eq of an adjacency group
+// (Algorithm 4 line 4): matched data vertices must carry label and have
+// exactly prefDeg incident hyperedges in the current partial embedding
+// (Observation V.4, d_Hm(v) = d_q'(u)).
+type uReq struct {
+	label   hypergraph.Label
+	prefDeg uint8
+}
+
+// adjGroup collects, for one previous matching-order position pos whose
+// query edge is adjacent to the current one, the vertex requirements of
+// Algorithm 4 lines 3-6.
+type adjGroup struct {
+	pos int
+	us  []uReq
+}
+
+// step is the compiled expansion logic for one matching-order position
+// i ≥ 1.
+type step struct {
+	qe        hypergraph.EdgeID     // ϕ[i]
+	sig       hypergraph.Signature  // S(ϕ[i])
+	part      *hypergraph.Partition // data table with that signature (nil ⇒ no results)
+	adjGroups []adjGroup            // previous adjacent positions
+	nonAdjPos []int                 // previous non-adjacent positions (V_n_incdt)
+	wantProf  []profile             // sorted query-side profile multiset for ϕ[i]'s vertices
+	qVerts    int                   // |V(q')| of the prefix through position i
+	arity     int                   // a(ϕ[i])
+}
+
+// Plan is a compiled, immutable execution plan for one (query, data) pair:
+// the matching order plus per-step candidate-generation and validation
+// tables. A Plan may be shared by any number of concurrent workers.
+type Plan struct {
+	Query *hypergraph.Hypergraph
+	Data  *hypergraph.Hypergraph
+	Order []hypergraph.EdgeID
+
+	startPart *hypergraph.Partition
+	steps     []step // steps[i] compiled for order position i (steps[0] unused)
+
+	// Empty is true when some query hyperedge has no data table with a
+	// matching signature: the result set is provably empty and execution
+	// can be skipped entirely.
+	Empty bool
+}
+
+// NewPlan computes a matching order with Algorithm 3 and compiles the plan.
+func NewPlan(q, h *hypergraph.Hypergraph) (*Plan, error) {
+	order, err := ComputeMatchingOrder(q, h)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlanWithOrder(q, h, order)
+}
+
+// NewPlanWithOrder compiles a plan for a caller-supplied connected matching
+// order (HGMatch works with any connected order, §V-A).
+func NewPlanWithOrder(q, h *hypergraph.Hypergraph, order []hypergraph.EdgeID) (*Plan, error) {
+	if q.NumEdges() > maxQueryEdges {
+		return nil, fmt.Errorf("core: query has %d hyperedges, max supported is %d", q.NumEdges(), maxQueryEdges)
+	}
+	if err := ValidateOrder(q, order); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Query: q,
+		Data:  h,
+		Order: append([]hypergraph.EdgeID(nil), order...),
+		steps: make([]step, len(order)),
+	}
+
+	lookupPart := func(qe hypergraph.EdgeID) *hypergraph.Partition {
+		sig := hypergraph.SignatureOf(q.Edge(qe), q.Labels())
+		if q.EdgeLabelled() && h.EdgeLabelled() {
+			return h.PartitionForLabelled(q.EdgeLabel(qe), sig)
+		}
+		return h.PartitionFor(sig)
+	}
+
+	p.startPart = lookupPart(order[0])
+	if p.startPart == nil {
+		p.Empty = true
+	}
+
+	// prefixDeg[u] after processing position i = number of order-prefix
+	// edges containing u; prefixVerts = sorted V(q') of the prefix.
+	prefixDeg := make([]uint8, q.NumVertices())
+	var prefixVerts []uint32
+	for _, u := range q.Edge(order[0]) {
+		prefixDeg[u] = 1
+	}
+	prefixVerts = append(prefixVerts, q.Edge(order[0])...)
+
+	for i := 1; i < len(order); i++ {
+		qe := order[i]
+		st := step{
+			qe:    qe,
+			sig:   hypergraph.SignatureOf(q.Edge(qe), q.Labels()),
+			part:  lookupPart(qe),
+			arity: q.Arity(qe),
+		}
+		if st.part == nil {
+			p.Empty = true
+		}
+
+		// Classify previous positions as adjacent / non-adjacent
+		// (Observations V.2, V.3) and collect vertex requirements
+		// (Observation V.4). d_q'(u) is the degree of u in the partial
+		// query BEFORE adding qe, i.e. prefixDeg from the previous
+		// iteration.
+		for j := 0; j < i; j++ {
+			ej := order[j]
+			shared := setops.Intersect(nil, q.Edge(ej), q.Edge(qe))
+			if len(shared) == 0 {
+				st.nonAdjPos = append(st.nonAdjPos, j)
+				continue
+			}
+			g := adjGroup{pos: j, us: make([]uReq, 0, len(shared))}
+			for _, u := range shared {
+				r := uReq{label: q.Label(u), prefDeg: prefixDeg[u]}
+				// Duplicate (label, degree) requirements within one group
+				// produce identical V_incdt sets and hence identical
+				// candidate sets; one copy suffices for the intersection.
+				dup := false
+				for _, prev := range g.us {
+					if prev == r {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					g.us = append(g.us, r)
+				}
+			}
+			st.adjGroups = append(st.adjGroups, g)
+		}
+
+		// Update prefix state to INCLUDE position i, then compile the
+		// validation tables: |V(q')| and the query-side profile multiset
+		// of ϕ[i]'s vertices over the prefix through i (Theorem V.2).
+		for _, u := range q.Edge(qe) {
+			prefixDeg[u]++
+		}
+		prefixVerts = setops.Union(prefixVerts[:0:0], prefixVerts, q.Edge(qe))
+		st.qVerts = len(prefixVerts)
+
+		st.wantProf = make([]profile, 0, st.arity)
+		for _, u := range q.Edge(qe) {
+			var mask uint64
+			for j := 0; j <= i; j++ {
+				if setops.Contains(q.Edge(order[j]), u) {
+					mask |= 1 << uint(j)
+				}
+			}
+			st.wantProf = append(st.wantProf, profile{label: q.Label(u), mask: mask})
+		}
+		sort.Slice(st.wantProf, func(a, b int) bool { return profileLess(st.wantProf[a], st.wantProf[b]) })
+
+		p.steps[i] = st
+	}
+	return p, nil
+}
+
+// NumSteps returns |E(q)|: the number of matching-order positions.
+func (p *Plan) NumSteps() int { return len(p.Order) }
+
+// StartPartition returns the data hyperedge table scanned by the SCAN
+// operator (all data hyperedges with signature S(ϕ[0])); nil when empty.
+func (p *Plan) StartPartition() *hypergraph.Partition { return p.startPart }
+
+// InitialCandidates returns the matches of the first query hyperedge:
+// every edge of the start partition (Algorithm 2 lines 2-3). The returned
+// slice is shared and must not be mutated.
+func (p *Plan) InitialCandidates() []hypergraph.EdgeID {
+	if p.Empty || p.startPart == nil {
+		return nil
+	}
+	return p.startPart.Edges
+}
+
+// TaskBytes estimates the in-memory size of one scheduled task carrying a
+// partial embedding: |E(q)| edge IDs plus fixed header. Used by the
+// engine's memory accounting (Theorem VI.1).
+func (p *Plan) TaskBytes() int {
+	return 24 + 4*len(p.Order)
+}
+
+// StepSignature exposes S(ϕ[i]) for diagnostics.
+func (p *Plan) StepSignature(i int) hypergraph.Signature {
+	if i == 0 {
+		return hypergraph.SignatureOf(p.Query.Edge(p.Order[0]), p.Query.Labels())
+	}
+	return p.steps[i].sig
+}

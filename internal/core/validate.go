@@ -1,0 +1,161 @@
+package core
+
+import (
+	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/setops"
+)
+
+// validateStep implements Algorithm 5 (IsValidEmbedding) for the partial
+// embedding m[:depth] extended by candidate c at matching-order position
+// depth:
+//
+//  1. Observation V.5 — |V(q')| must equal |V(Hm')|. hmVerts is |V(Hm)|
+//     before adding c; the new count is hmVerts plus c's previously unseen
+//     vertices.
+//  2. Theorem V.2 — the multiset of vertex profiles (Definition V.3) of
+//     c's vertices must equal the precompiled multiset for ϕ[depth]'s
+//     vertices. A profile is (label, incident matched hyperedges); both
+//     sides canonicalise incident hyperedges to matching-order position
+//     bitmasks, so equality is a sort-and-compare over at most a(e)
+//     two-word records — no backtracking.
+//
+// It updates ct.Filtered for candidates passing check 1.
+func (p *Plan) validateStep(st *step, depth int, m []hypergraph.EdgeID, c hypergraph.EdgeID, hmVerts int, sc *Scratch, ct *Counters) bool {
+	data := p.Data
+	cvs := data.Edge(c)
+
+	// Observation V.5: vertex-count equality.
+	newVerts := 0
+	for _, v := range cvs {
+		if _, ok := sc.vcnt[v]; !ok {
+			newVerts++
+		}
+	}
+	if hmVerts+newVerts != st.qVerts {
+		return false
+	}
+	ct.Filtered++
+
+	// Theorem V.2: profile multiset equality for the new hyperedge.
+	sc.profs = sc.profs[:0]
+	for _, v := range cvs {
+		mask := uint64(1) << uint(depth)
+		for k := 0; k < depth; k++ {
+			if setops.Contains(data.Edge(m[k]), v) {
+				mask |= 1 << uint(k)
+			}
+		}
+		sc.profs = append(sc.profs, profile{label: data.Label(v), mask: mask})
+	}
+	insertionSortProfiles(sc.profs)
+	want := st.wantProf
+	if len(sc.profs) != len(want) {
+		return false // cannot happen: same signature implies same arity
+	}
+	for i := range want {
+		if sc.profs[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// insertionSortProfiles sorts a tiny profile slice in place; hyperedge
+// arities in queries are small, so insertion sort beats sort.Slice here and
+// avoids its closure allocation.
+func insertionSortProfiles(ps []profile) {
+	for i := 1; i < len(ps); i++ {
+		x := ps[i]
+		j := i - 1
+		for j >= 0 && profileLess(x, ps[j]) {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = x
+	}
+}
+
+// VerifyEmbedding checks Definition III.3 from first principles: it
+// searches for an injective, label-preserving vertex mapping f with
+// f(order[i]) = Edge(m[i]) for every matching-order position, by
+// backtracking. It is the ground-truth oracle used in tests and is NOT on
+// any hot path (HGMatch itself never backtracks).
+func VerifyEmbedding(q, h *hypergraph.Hypergraph, order []hypergraph.EdgeID, m []hypergraph.EdgeID) bool {
+	if len(order) != len(m) || len(order) != q.NumEdges() {
+		return false
+	}
+	for i, qe := range order {
+		if q.Arity(qe) != h.Arity(m[i]) {
+			return false
+		}
+	}
+	// Candidate data vertices per query vertex: the intersection of the
+	// images of its incident matched query hyperedges, label-filtered,
+	// minus images of non-incident hyperedges (f(u) may only lie in
+	// matched edges containing u).
+	nq := q.NumVertices()
+	cands := make([][]uint32, nq)
+	for u := 0; u < nq; u++ {
+		var cu []uint32
+		first := true
+		for i, qe := range order {
+			if setops.Contains(q.Edge(qe), uint32(u)) {
+				if first {
+					cu = append(cu[:0:0], h.Edge(m[i])...)
+					first = false
+				} else {
+					cu = setops.Intersect(cu[:0:0], cu, h.Edge(m[i]))
+				}
+			}
+		}
+		if first {
+			return false // isolated query vertex: cannot occur in a connected query
+		}
+		// Remove vertices that lie in images of edges NOT containing u.
+		for i, qe := range order {
+			if !setops.Contains(q.Edge(qe), uint32(u)) {
+				cu = setops.Difference(cu[:0:0], cu, h.Edge(m[i]))
+			}
+		}
+		// Label filter.
+		w := cu[:0]
+		for _, v := range cu {
+			if h.Label(v) == q.Label(uint32(u)) {
+				w = append(w, v)
+			}
+		}
+		cands[u] = w
+		if len(w) == 0 {
+			return false
+		}
+	}
+	used := make(map[uint32]bool, nq)
+	var rec func(u int) bool
+	rec = func(u int) bool {
+		if u == nq {
+			return true
+		}
+		for _, v := range cands[u] {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			if rec(u + 1) {
+				return true
+			}
+			delete(used, v)
+		}
+		return false
+	}
+	if !rec(0) {
+		return false
+	}
+	// Vertex counts must agree so that f is onto V(Hm) (the embedding is
+	// the whole subhypergraph, not a sub-mapping).
+	var qv, hv []uint32
+	for i := range order {
+		qv = setops.Union(qv[:0:0], qv, q.Edge(order[i]))
+		hv = setops.Union(hv[:0:0], hv, h.Edge(m[i]))
+	}
+	return len(qv) == len(hv)
+}

@@ -1,0 +1,189 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"hgmatch/internal/core"
+	"hgmatch/internal/datagen"
+	"hgmatch/internal/engine"
+	"hgmatch/internal/hypergraph"
+)
+
+func TestProfilesMatchTable2(t *testing.T) {
+	ps := datagen.Profiles()
+	if len(ps) != 10 {
+		t.Fatalf("%d profiles, want 10", len(ps))
+	}
+	want := map[string]struct {
+		v, e, labels, amax int
+		avg                float64
+	}{
+		"HC": {1290, 331, 2, 81, 34.8},
+		"MA": {73851, 5444, 1456, 1784, 24.2},
+		"CH": {327, 7818, 9, 5, 2.3},
+		"CP": {242, 12704, 11, 5, 2.4},
+		"SB": {294, 20584, 2, 99, 8.0},
+		"HB": {1494, 52960, 2, 399, 20.5},
+		"WT": {88860, 65507, 11, 25, 6.6},
+		"TC": {172738, 212483, 160, 85, 4.1},
+		"SA": {15211989, 1103193, 56502, 61315, 23.7},
+		"AR": {2268264, 4239108, 29, 9350, 17.1},
+	}
+	for _, p := range ps {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %q", p.Name)
+			continue
+		}
+		if p.PaperVertices != w.v || p.PaperEdges != w.e || p.NumLabels != w.labels ||
+			p.MaxArity != w.amax || p.AvgArity != w.avg {
+			t.Errorf("%s: profile %+v does not match Table II %+v", p.Name, p, w)
+		}
+	}
+	if _, ok := datagen.ProfileByName("AR"); !ok {
+		t.Error("ProfileByName(AR) failed")
+	}
+	if _, ok := datagen.ProfileByName("nope"); ok {
+		t.Error("ProfileByName(nope) succeeded")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p, _ := datagen.ProfileByName("AR")
+	s := p.Scaled(0.001)
+	if s.NumVertices >= p.NumVertices || s.NumEdges >= p.NumEdges {
+		t.Errorf("scaling did not shrink: %+v", s)
+	}
+	if s.NumLabels > s.NumVertices || s.MaxArity > s.NumVertices {
+		t.Errorf("scaled constraints violated: %+v", s)
+	}
+	tiny := p.Scaled(0.0000001)
+	if tiny.NumVertices < 8 || tiny.NumEdges < 8 {
+		t.Errorf("minimum floor not applied: %+v", tiny)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, name := range []string{"HC", "CH", "SB", "WT"} {
+		p, _ := datagen.ProfileByName(name)
+		s := p.Scaled(0.2)
+		h := datagen.Generate(s, 1)
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h.NumVertices() != s.NumVertices {
+			t.Errorf("%s: vertices %d, want %d", name, h.NumVertices(), s.NumVertices)
+		}
+		// Deduplication may remove a few edges; demand at least 80%.
+		if h.NumEdges() < s.NumEdges*8/10 {
+			t.Errorf("%s: edges %d, want >= 80%% of %d", name, h.NumEdges(), s.NumEdges)
+		}
+		if h.NumLabels() > s.NumLabels {
+			t.Errorf("%s: labels %d > %d", name, h.NumLabels(), s.NumLabels)
+		}
+		if h.MaxArity() > s.MaxArity {
+			t.Errorf("%s: max arity %d > %d", name, h.MaxArity(), s.MaxArity)
+		}
+		// Average arity within a loose factor of the profile (generation
+		// is stochastic).
+		if h.AvgArity() < s.AvgArity/3 || h.AvgArity() > s.AvgArity*3 {
+			t.Errorf("%s: avg arity %.2f, profile %.2f", name, h.AvgArity(), s.AvgArity)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := datagen.ProfileByName("CH")
+	s := p.Scaled(0.3)
+	a := datagen.Generate(s, 42)
+	b := datagen.Generate(s, 42)
+	if a.NumEdges() != b.NumEdges() || a.NumVertices() != b.NumVertices() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		ea, eb := a.Edge(uint32(e)), b.Edge(uint32(e))
+		if len(ea) != len(eb) {
+			t.Fatal("same seed produced different edges")
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatal("same seed produced different edges")
+			}
+		}
+	}
+	c := datagen.Generate(s, 43)
+	same := c.NumEdges() == a.NumEdges()
+	if same {
+		diff := false
+		for e := 0; e < a.NumEdges() && !diff; e++ {
+			ea, ec := a.Edge(uint32(e)), c.Edge(uint32(e))
+			if len(ea) != len(ec) {
+				diff = true
+				break
+			}
+			for i := range ea {
+				if ea[i] != ec[i] {
+					diff = true
+					break
+				}
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestArityOrderingAcrossProfiles(t *testing.T) {
+	// The qualitative driver of Fig. 8: HC/HB are high-arity, CH/CP are
+	// low-arity. The generated graphs must preserve that ordering.
+	gen := func(name string) *hypergraph.Hypergraph {
+		p, _ := datagen.ProfileByName(name)
+		return datagen.Generate(p.Scaled(0.1), 7)
+	}
+	hc, ch := gen("HC"), gen("CH")
+	if hc.AvgArity() <= ch.AvgArity() {
+		t.Errorf("HC avg arity %.1f should exceed CH %.1f", hc.AvgArity(), ch.AvgArity())
+	}
+}
+
+func TestKBCaseStudy(t *testing.T) {
+	cfg := datagen.DefaultKBConfig()
+	kb := datagen.GenerateKB(cfg, 11)
+	if err := kb.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if kb.Dict.Name(kb.Player) != "Player" {
+		t.Error("label dictionary broken")
+	}
+
+	// Query 1 must find at least the planted transfers (each planted pair
+	// yields 2 ordered embeddings; background facts may add more).
+	q1 := kb.Query1()
+	p1, err := core.NewPlan(q1, kb.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := engine.Run(p1, engine.Options{Workers: 2})
+	if r1.Embeddings < 2*uint64(cfg.PlantedTransfers) {
+		t.Errorf("query1 found %d embeddings, planted %d transfers", r1.Embeddings, cfg.PlantedTransfers)
+	}
+
+	q2 := kb.Query2()
+	p2, err := core.NewPlan(q2, kb.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := engine.Run(p2, engine.Options{Workers: 2})
+	if r2.Embeddings < 2*uint64(cfg.PlantedRecasts) {
+		t.Errorf("query2 found %d embeddings, planted %d recasts", r2.Embeddings, cfg.PlantedRecasts)
+	}
+}
+
+func TestKBDeterminism(t *testing.T) {
+	a := datagen.GenerateKB(datagen.DefaultKBConfig(), 5)
+	b := datagen.GenerateKB(datagen.DefaultKBConfig(), 5)
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Error("KB generation not deterministic")
+	}
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"sync/atomic"
+)
+
+// chaseLevDeque is a dynamic circular work-stealing deque after Chase and
+// Lev (SPAA'05), the non-blocking deque the paper cites as [17]. The owner
+// pushes and pops at the bottom without locks; thieves steal single tasks
+// from the top with a CAS. Compared with the mutex-guarded steal-half
+// deque (deque.go), it trades steal granularity (one task per steal) for
+// lock-freedom on the owner's hot path; Options.StealOne selects it.
+//
+// The implementation follows the published algorithm: `bottom` is written
+// only by the owner, `top` only advances (via CAS), and the buffer grows
+// by copying (owner-only) with the old buffer left to the garbage
+// collector — Go's GC removes the algorithm's memory-reclamation caveat.
+type chaseLevDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[clBuf]
+}
+
+type clBuf struct {
+	mask  int64 // len-1, len is a power of two
+	tasks []atomic.Pointer[task]
+}
+
+func newCLBuf(logSize uint) *clBuf {
+	n := int64(1) << logSize
+	return &clBuf{mask: n - 1, tasks: make([]atomic.Pointer[task], n)}
+}
+
+func (b *clBuf) get(i int64) *task    { return b.tasks[i&b.mask].Load() }
+func (b *clBuf) put(i int64, t *task) { b.tasks[i&b.mask].Store(t) }
+func (b *clBuf) grow(bot, top int64) *clBuf {
+	nb := &clBuf{mask: b.mask*2 + 1, tasks: make([]atomic.Pointer[task], (b.mask+1)*2)}
+	for i := top; i < bot; i++ {
+		nb.put(i, b.get(i))
+	}
+	return nb
+}
+
+func newChaseLevDeque() *chaseLevDeque {
+	d := &chaseLevDeque{}
+	d.buf.Store(newCLBuf(6))
+	return d
+}
+
+// push adds a task at the bottom (owner only).
+func (d *chaseLevDeque) push(t task) {
+	bot := d.bottom.Load()
+	top := d.top.Load()
+	b := d.buf.Load()
+	if bot-top > b.mask {
+		b = b.grow(bot, top)
+		d.buf.Store(b)
+	}
+	tc := t
+	b.put(bot, &tc)
+	d.bottom.Store(bot + 1)
+}
+
+// pushN adds tasks in order (owner only).
+func (d *chaseLevDeque) pushN(ts []task) {
+	for _, t := range ts {
+		d.push(t)
+	}
+}
+
+// pop removes the most recent task (owner only, LIFO).
+func (d *chaseLevDeque) pop() (task, bool) {
+	bot := d.bottom.Load() - 1
+	b := d.buf.Load()
+	d.bottom.Store(bot)
+	top := d.top.Load()
+	size := bot - top
+	if size < 0 {
+		// Empty: restore bottom.
+		d.bottom.Store(top)
+		return task{}, false
+	}
+	t := b.get(bot)
+	if size > 0 {
+		return *t, true
+	}
+	// Last element: race with thieves via CAS on top.
+	ok := d.top.CompareAndSwap(top, top+1)
+	d.bottom.Store(top + 1)
+	if !ok {
+		return task{}, false // a thief won
+	}
+	return *t, true
+}
+
+// steal removes the oldest task (any thread). It returns a one-element
+// slice to satisfy the taskQueue interface's steal contract.
+func (d *chaseLevDeque) steal() []task {
+	for {
+		top := d.top.Load()
+		bot := d.bottom.Load()
+		if bot-top <= 0 {
+			return nil
+		}
+		b := d.buf.Load()
+		t := b.get(top)
+		if d.top.CompareAndSwap(top, top+1) {
+			return []task{*t}
+		}
+		// CAS failed: another thief or the owner got it; retry.
+	}
+}
+
+// size is approximate (diagnostics only).
+func (d *chaseLevDeque) size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// taskQueue abstracts the two deque implementations so the worker loop is
+// agnostic to the stealing strategy.
+type taskQueue interface {
+	push(task)
+	pushN([]task)
+	pop() (task, bool)
+	steal() []task
+	size() int
+}
+
+// steal on the mutex deque implements the paper's steal-half-from-tail.
+func (d *deque) steal() []task { return d.stealHalf() }
+
+var (
+	_ taskQueue = (*deque)(nil)
+	_ taskQueue = (*chaseLevDeque)(nil)
+)

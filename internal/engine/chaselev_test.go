@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"hgmatch/internal/core"
+	"hgmatch/internal/hypergraph"
+)
+
+func TestChaseLevLIFOOwner(t *testing.T) {
+	d := newChaseLevDeque()
+	for i := uint32(0); i < 200; i++ { // crosses the initial buffer size
+		d.push(mkTask(i))
+	}
+	if d.size() != 200 {
+		t.Fatalf("size = %d", d.size())
+	}
+	for i := int32(199); i >= 0; i-- {
+		tk, ok := d.pop()
+		if !ok || tk.m[0] != uint32(i) {
+			t.Fatalf("pop %d: %v ok=%v", i, tk.m, ok)
+		}
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+	if d.size() != 0 {
+		t.Fatalf("size after drain = %d", d.size())
+	}
+}
+
+func TestChaseLevStealFIFO(t *testing.T) {
+	d := newChaseLevDeque()
+	for i := uint32(0); i < 5; i++ {
+		d.push(mkTask(i))
+	}
+	// Thieves take the OLDEST first.
+	for want := uint32(0); want < 3; want++ {
+		st := d.steal()
+		if len(st) != 1 || st[0].m[0] != want {
+			t.Fatalf("steal: %v, want %d", st, want)
+		}
+	}
+	// Owner still pops LIFO of the remainder: 4, 3.
+	tk, _ := d.pop()
+	if tk.m[0] != 4 {
+		t.Fatalf("pop after steals = %v", tk.m)
+	}
+	tk, _ = d.pop()
+	if tk.m[0] != 3 {
+		t.Fatalf("pop after steals = %v", tk.m)
+	}
+	if st := d.steal(); st != nil {
+		t.Fatalf("steal from empty = %v", st)
+	}
+}
+
+func TestChaseLevGrowPreservesOrder(t *testing.T) {
+	d := newChaseLevDeque()
+	const n = 1000 // several grow cycles from the 64-slot initial buffer
+	for i := uint32(0); i < n; i++ {
+		d.push(mkTask(i))
+	}
+	// Interleave steals and pops; all IDs must appear exactly once.
+	seen := make(map[uint32]bool, n)
+	for i := 0; i < n; i++ {
+		var tk task
+		var ok bool
+		if i%3 == 0 {
+			st := d.steal()
+			if st == nil {
+				t.Fatal("unexpected empty steal")
+			}
+			tk, ok = st[0], true
+		} else {
+			tk, ok = d.pop()
+		}
+		if !ok || seen[tk.m[0]] {
+			t.Fatalf("lost or duplicated task at %d", i)
+		}
+		seen[tk.m[0]] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d of %d", len(seen), n)
+	}
+}
+
+// TestChaseLevConcurrent hammers the deque with one owner and several
+// thieves; every task must be delivered exactly once. Run under -race.
+func TestChaseLevConcurrent(t *testing.T) {
+	const n = 20000
+	d := newChaseLevDeque()
+	var mu sync.Mutex
+	seen := make(map[uint32]int, n)
+	record := func(ts ...task) {
+		mu.Lock()
+		for _, tk := range ts {
+			seen[tk.m[0]]++
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	// Owner: pushes in batches, pops in between.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := uint32(0)
+		for next < n {
+			for b := 0; b < 64 && next < n; b++ {
+				d.push(mkTask(next))
+				next++
+			}
+			for b := 0; b < 32; b++ {
+				if tk, ok := d.pop(); ok {
+					record(tk)
+				}
+			}
+		}
+		for {
+			tk, ok := d.pop()
+			if !ok {
+				return
+			}
+			record(tk)
+		}
+	}()
+	for k := 0; k < 3; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			misses := 0
+			for misses < 2000 {
+				if st := d.steal(); st != nil {
+					record(st...)
+					misses = 0
+				} else {
+					misses++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain anything left (thieves may have given up early).
+	for {
+		tk, ok := d.pop()
+		if !ok {
+			break
+		}
+		record(tk)
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct of %d", len(seen), n)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d delivered %d times", id, c)
+		}
+	}
+}
+
+func TestEngineWithChaseLev(t *testing.T) {
+	// The engine produces identical results with either deque.
+	labels := []hypergraph.Label{0, 2, 0, 0, 1, 2, 0}
+	edges := [][]uint32{{2, 4}, {4, 6}, {0, 1, 2}, {3, 5, 6}, {0, 1, 4, 6}, {2, 3, 4, 5}}
+	h, err := hypergraph.FromEdges(labels, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := hypergraph.FromEdges([]hypergraph.Label{0, 2, 0, 0, 1},
+		[][]uint32{{2, 4}, {0, 1, 2}, {0, 1, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		res := Run(p, Options{Workers: workers, StealOne: true})
+		if res.Embeddings != 2 {
+			t.Errorf("StealOne workers=%d: %d embeddings", workers, res.Embeddings)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"hgmatch/internal/hypergraph"
+)
+
+func mkTask(id uint32) task {
+	return task{m: []hypergraph.EdgeID{id}}
+}
+
+func TestDequeLIFO(t *testing.T) {
+	var d deque
+	for i := uint32(0); i < 5; i++ {
+		d.push(mkTask(i))
+	}
+	for i := int32(4); i >= 0; i-- {
+		tk, ok := d.pop()
+		if !ok || tk.m[0] != uint32(i) {
+			t.Fatalf("pop %d: got %v ok=%v", i, tk.m, ok)
+		}
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestDequeStealHalfFromTail(t *testing.T) {
+	var d deque
+	for i := uint32(0); i < 6; i++ {
+		d.push(mkTask(i))
+	}
+	stolen := d.stealHalf()
+	if len(stolen) != 3 {
+		t.Fatalf("stole %d tasks, want 3", len(stolen))
+	}
+	// Stolen tasks are the OLDEST (tail): 0, 1, 2.
+	for i, tk := range stolen {
+		if tk.m[0] != uint32(i) {
+			t.Errorf("stolen[%d] = %v, want %d", i, tk.m, i)
+		}
+	}
+	// Owner still pops LIFO from the remaining head: 5, 4, 3.
+	for want := uint32(5); want >= 3; want-- {
+		tk, ok := d.pop()
+		if !ok || tk.m[0] != want {
+			t.Fatalf("after steal pop: got %v, want %d", tk.m, want)
+		}
+	}
+	if d.size() != 0 {
+		t.Errorf("size = %d", d.size())
+	}
+}
+
+func TestDequeStealSingle(t *testing.T) {
+	var d deque
+	d.push(mkTask(42))
+	stolen := d.stealHalf()
+	if len(stolen) != 1 || stolen[0].m[0] != 42 {
+		t.Fatalf("stealHalf of singleton = %v", stolen)
+	}
+	if s := d.stealHalf(); s != nil {
+		t.Fatalf("steal from empty = %v", s)
+	}
+}
+
+// TestDequeConcurrentDisjoint checks steal/pop disjointness: under
+// concurrent owner pops and thief steals, every task is delivered exactly
+// once.
+func TestDequeConcurrentDisjoint(t *testing.T) {
+	const n = 10000
+	var d deque
+	for i := uint32(0); i < n; i++ {
+		d.push(mkTask(i))
+	}
+	var mu sync.Mutex
+	seen := make(map[uint32]int, n)
+	record := func(tasks ...task) {
+		mu.Lock()
+		for _, tk := range tasks {
+			seen[tk.m[0]]++
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	// Owner pops.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			tk, ok := d.pop()
+			if !ok {
+				if d.size() == 0 {
+					return
+				}
+				continue
+			}
+			record(tk)
+		}
+	}()
+	// Two thieves.
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			empty := 0
+			for empty < 100 {
+				st := d.stealHalf()
+				if st == nil {
+					empty++
+					continue
+				}
+				empty = 0
+				record(st...)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct tasks, want %d", len(seen), n)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d delivered %d times", id, c)
+		}
+	}
+}
+
+func TestPushN(t *testing.T) {
+	var d deque
+	d.pushN([]task{mkTask(1), mkTask(2)})
+	if d.size() != 2 {
+		t.Fatalf("size = %d", d.size())
+	}
+	tk, _ := d.pop()
+	if tk.m[0] != 2 {
+		t.Fatalf("pop after pushN = %v, want head 2", tk.m)
+	}
+}

@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hgmatch/internal/core"
+	"hgmatch/internal/dataflow"
+	"hgmatch/internal/hypergraph"
+)
+
+// Scheduler selects the engine's scheduling strategy.
+type Scheduler int
+
+const (
+	// SchedulerTask is HGMatch's task-based LIFO scheduler with bounded
+	// memory (paper §VI-B). This is the default.
+	SchedulerTask Scheduler = iota
+	// SchedulerBFS is the breadth-first, level-synchronous scheduler that
+	// materialises every intermediate result; it serves as the
+	// memory-consumption baseline of Exp-5 (paper Fig. 11).
+	SchedulerBFS
+)
+
+// scanChunk bounds how many first-hyperedge matches one SCAN task expands
+// before splitting; small enough to give thieves work, large enough to
+// amortise scheduling.
+const scanChunk = 64
+
+// Options configures a Run.
+type Options struct {
+	// Workers is the thread-pool size p; 0 means GOMAXPROCS.
+	Workers int
+	// Scheduler selects task-based (default) or BFS scheduling.
+	Scheduler Scheduler
+	// DisableStealing turns dynamic work stealing off, leaving only the
+	// static initial split of first-hyperedge matches across workers —
+	// the "HGMatch-NOSTL" configuration of Exp-6 (paper Fig. 12).
+	DisableStealing bool
+	// StealOne switches the per-worker queues to lock-free Chase-Lev
+	// deques (the paper's [17]) where thieves steal one task at a time,
+	// instead of the default mutex-guarded steal-half-from-tail deques.
+	StealOne bool
+	// OnEmbedding, when non-nil, receives every embedding (the tuple is
+	// aligned with plan.Order and reused; copy to retain). Calls are
+	// serialised by the engine, so the callback needs no locking.
+	OnEmbedding func(m []hypergraph.EdgeID)
+	// Limit stops the run after this many embeddings (0 = unlimited).
+	Limit uint64
+	// Timeout aborts the run after this duration (0 = none). Aborted runs
+	// report TimedOut = true and a lower-bound embedding count.
+	Timeout time.Duration
+	// Context, when non-nil, aborts the run on cancellation (checked at
+	// task granularity alongside the deadline). Cancelled runs report
+	// TimedOut = true.
+	Context context.Context
+	// Filter drops complete embeddings failing the predicate before they
+	// reach the sink (dataflow FILTER operator).
+	Filter dataflow.Predicate
+	// Aggregate, when non-nil, groups embeddings by key and counts per
+	// group (dataflow AGGREGATE operator). Groups are returned in
+	// Result.Groups.
+	Aggregate dataflow.KeyFunc
+}
+
+// WorkerStats reports one worker's contribution; Exp-6 (Fig. 12) plots the
+// per-worker busy times to show load balance.
+type WorkerStats struct {
+	Tasks     uint64        // tasks executed
+	Spawned   uint64        // tasks spawned
+	Steals    uint64        // successful steal operations performed
+	Stolen    uint64        // tasks obtained via stealing
+	BusyTime  time.Duration // time spent executing tasks
+	SinkCount uint64        // embeddings this worker sank
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	Embeddings uint64
+	Counters   core.Counters
+	Workers    []WorkerStats
+	// PeakTasks is the high-water mark of live tasks; PeakTaskBytes
+	// applies the per-task size (Theorem VI.1's accounting). For the BFS
+	// scheduler these describe the largest materialised level instead.
+	PeakTasks     int64
+	PeakTaskBytes int64
+	Elapsed       time.Duration
+	TimedOut      bool
+	Groups        map[string]uint64 // AGGREGATE output (nil without aggregation)
+}
+
+// TotalTasks sums tasks executed across workers.
+func (r *Result) TotalTasks() uint64 {
+	var n uint64
+	for _, w := range r.Workers {
+		n += w.Tasks
+	}
+	return n
+}
+
+// TotalSteals sums successful steal operations across workers.
+func (r *Result) TotalSteals() uint64 {
+	var n uint64
+	for _, w := range r.Workers {
+		n += w.Steals
+	}
+	return n
+}
+
+// Run executes the plan's dataflow graph and returns counts and stats.
+func Run(p *core.Plan, opts Options) Result {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	var res Result
+	if p.Empty || len(p.InitialCandidates()) == 0 {
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	switch opts.Scheduler {
+	case SchedulerBFS:
+		res = runBFS(p, opts)
+	default:
+		res = runTasks(p, opts)
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Count is a convenience wrapper returning only the embedding count.
+func Count(p *core.Plan, workers int) uint64 {
+	return Run(p, Options{Workers: workers}).Embeddings
+}
+
+// run state shared by all workers of one task-scheduler execution.
+type runState struct {
+	plan  *core.Plan
+	opts  Options
+	nq    int // |E(q)|
+	first []hypergraph.EdgeID
+
+	deques  []taskQueue
+	pending atomic.Int64 // live tasks (queued or executing)
+	peak    atomic.Int64
+	stopped atomic.Bool
+	count   atomic.Uint64
+
+	deadline time.Time
+	hasDL    bool
+
+	sinkMu sync.Mutex // serialises OnEmbedding / aggregation
+	groups map[string]uint64
+
+	countersMu     sync.Mutex
+	mergedCounters core.Counters
+}
+
+func runTasks(p *core.Plan, opts Options) Result {
+	st := &runState{
+		plan:   p,
+		opts:   opts,
+		nq:     p.NumSteps(),
+		first:  p.InitialCandidates(),
+		deques: make([]taskQueue, opts.Workers),
+	}
+	if opts.Timeout > 0 {
+		st.deadline = time.Now().Add(opts.Timeout)
+		st.hasDL = true
+	}
+	if opts.Aggregate != nil {
+		st.groups = make(map[string]uint64)
+	}
+	for i := range st.deques {
+		if opts.StealOne {
+			st.deques[i] = newChaseLevDeque()
+		} else {
+			st.deques[i] = &deque{}
+		}
+	}
+
+	// TSCAN: split the start partition's edge range statically across
+	// workers (the paper's coarse-grained initial assignment); dynamic
+	// stealing refines it at task granularity.
+	n := uint32(len(st.first))
+	w := uint32(opts.Workers)
+	for i := uint32(0); i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		if lo < hi {
+			st.pending.Add(1)
+			st.deques[i].push(task{lo: lo, hi: hi})
+		}
+	}
+	st.peak.Store(st.pending.Load())
+
+	stats := make([]WorkerStats, opts.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			st.worker(id, &stats[id])
+		}(i)
+	}
+	wg.Wait()
+
+	return Result{
+		Embeddings:    st.count.Load(),
+		Counters:      st.mergedCounters,
+		Workers:       stats,
+		PeakTasks:     st.peak.Load(),
+		PeakTaskBytes: st.peak.Load() * int64(p.TaskBytes()),
+		TimedOut:      st.stopped.Load() && st.hitDeadline(),
+		Groups:        st.groups,
+	}
+}
+
+func (st *runState) hitDeadline() bool {
+	if st.hasDL && !time.Now().Before(st.deadline) {
+		return true
+	}
+	if ctx := st.opts.Context; ctx != nil {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+func (st *runState) worker(id int, ws *WorkerStats) {
+	my := st.deques[id]
+	sc := core.NewScratch()
+	var ct core.Counters
+	rng := rand.New(rand.NewSource(int64(id)*0x9E3779B9 + 1))
+	emitBuf := make([]hypergraph.EdgeID, st.nq)
+	checkEvery := 0
+
+	defer func() {
+		st.countersMu.Lock()
+		st.mergedCounters.Add(ct)
+		st.countersMu.Unlock()
+	}()
+
+	for {
+		t, ok := my.pop()
+		if !ok {
+			if st.opts.DisableStealing {
+				// Tasks never migrate without stealing, so an empty own
+				// deque means this worker's whole share is finished.
+				return
+			}
+			stolen := st.trySteal(id, rng)
+			if stolen == nil {
+				if st.pending.Load() == 0 {
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			ws.Steals++
+			ws.Stolen += uint64(len(stolen))
+			my.pushN(stolen)
+			continue
+		}
+
+		if st.stopped.Load() {
+			st.pending.Add(-1)
+			continue
+		}
+		if st.hasDL || st.opts.Context != nil {
+			checkEvery++
+			if checkEvery&0x3F == 0 && st.hitDeadline() {
+				st.stopped.Store(true)
+			}
+		}
+
+		t0 := time.Now()
+		st.execute(t, my, ws, sc, &ct, emitBuf)
+		ws.BusyTime += time.Since(t0)
+		ws.Tasks++
+		st.pending.Add(-1)
+	}
+}
+
+func (st *runState) trySteal(self int, rng *rand.Rand) []task {
+	n := len(st.deques)
+	if n == 1 {
+		return nil
+	}
+	// Random starting victim, then scan all others once (paper: "randomly
+	// pick one of the other threads with a non-empty task queue").
+	off := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := (off + i) % n
+		if v == self {
+			continue
+		}
+		if stolen := st.deques[v].steal(); stolen != nil {
+			return stolen
+		}
+	}
+	return nil
+}
+
+// execute runs one task: a SCAN range split/emit or one EXPAND step. New
+// tasks are pushed LIFO to the worker's own deque.
+func (st *runState) execute(t task, my taskQueue, ws *WorkerStats, sc *core.Scratch, ct *core.Counters, emitBuf []hypergraph.EdgeID) {
+	p := st.plan
+	if t.m == nil {
+		// TSCAN.
+		if t.hi-t.lo > scanChunk {
+			mid := t.lo + (t.hi-t.lo)/2
+			st.pending.Add(2)
+			st.notePeak()
+			my.push(task{lo: mid, hi: t.hi})
+			my.push(task{lo: t.lo, hi: mid})
+			ws.Spawned += 2
+			return
+		}
+		if st.nq == 1 {
+			for _, e := range st.first[t.lo:t.hi] {
+				ct.Valid++
+				emitBuf[0] = e
+				st.sink(emitBuf, ws)
+			}
+			return
+		}
+		spawned := 0
+		for i := t.hi; i > t.lo; i-- { // reverse so LIFO pops ascending
+			e := st.first[i-1]
+			ct.Valid++
+			m := make([]hypergraph.EdgeID, 1, st.nq)
+			m[0] = e
+			st.pending.Add(1)
+			my.push(task{m: m})
+			spawned++
+		}
+		ws.Spawned += uint64(spawned)
+		st.notePeak()
+		return
+	}
+
+	// TEXPAND.
+	depth := len(t.m)
+	if depth == st.nq-1 {
+		// Last step: children are complete embeddings; sink directly
+		// (fusing TEXPAND with its TSINK children — same results, fewer
+		// scheduler round-trips).
+		copy(emitBuf, t.m)
+		p.Expand(depth, t.m, sc, ct, func(c hypergraph.EdgeID) {
+			emitBuf[depth] = c
+			st.sink(emitBuf[:depth+1], ws)
+		})
+		return
+	}
+	spawned := 0
+	p.Expand(depth, t.m, sc, ct, func(c hypergraph.EdgeID) {
+		m := make([]hypergraph.EdgeID, depth+1, st.nq)
+		copy(m, t.m)
+		m[depth] = c
+		st.pending.Add(1)
+		my.push(task{m: m})
+		spawned++
+	})
+	ws.Spawned += uint64(spawned)
+	if spawned > 0 {
+		st.notePeak()
+	}
+}
+
+func (st *runState) notePeak() {
+	cur := st.pending.Load()
+	for {
+		old := st.peak.Load()
+		if cur <= old || st.peak.CompareAndSwap(old, cur) {
+			return
+		}
+	}
+}
+
+// sink consumes one complete embedding: TSINK (paper §VI-A), plus the
+// FILTER and AGGREGATE extension operators.
+func (st *runState) sink(m []hypergraph.EdgeID, ws *WorkerStats) {
+	if st.stopped.Load() {
+		return
+	}
+	if st.opts.Filter != nil && !st.opts.Filter(m) {
+		return
+	}
+	n := st.count.Add(1)
+	if st.opts.Limit > 0 {
+		if n > st.opts.Limit {
+			// A concurrent sink raced past the limit; undo and drop so
+			// the reported count never exceeds it.
+			st.count.Add(^uint64(0))
+			st.stopped.Store(true)
+			return
+		}
+		if n == st.opts.Limit {
+			st.stopped.Store(true)
+		}
+	}
+	ws.SinkCount++
+	if st.opts.OnEmbedding != nil || st.opts.Aggregate != nil {
+		st.sinkMu.Lock()
+		if st.opts.Aggregate != nil {
+			st.groups[st.opts.Aggregate(m)]++
+		}
+		if st.opts.OnEmbedding != nil {
+			st.opts.OnEmbedding(m)
+		}
+		st.sinkMu.Unlock()
+	}
+}

@@ -1,0 +1,218 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hgmatch/internal/experiments"
+)
+
+// tinyConfig keeps the full suite runnable in test time.
+func tinyConfig() experiments.Config {
+	return experiments.Config{
+		Scale:             0.004,
+		Seed:              1,
+		QueriesPerSetting: 3,
+		Timeout:           300 * time.Millisecond,
+		Workers:           3,
+		MaxEmbeddings:     200_000,
+		Settings:          []string{"q2", "q3"},
+	}
+}
+
+func TestTable2(t *testing.T) {
+	s := experiments.NewSuite(tinyConfig())
+	rows, txt := s.Table2()
+	if len(rows) != 10 {
+		t.Fatalf("%d rows, want 10 datasets", len(rows))
+	}
+	for _, r := range rows {
+		if r.Vertices <= 0 || r.Edges <= 0 || r.IndexBytes <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	if !strings.Contains(txt, "Table II") || !strings.Contains(txt, "AR") {
+		t.Errorf("report missing content:\n%s", txt)
+	}
+}
+
+func TestFig6AndFig9(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"HC", "CH"}
+	s := experiments.NewSuite(cfg)
+	rows, txt := s.Fig6()
+	if len(rows) != 4 { // 2 datasets × 2 settings
+		t.Fatalf("%d fig6 rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Counts.Min < 1 {
+			t.Errorf("%s/%s: sampled query with zero embeddings (min %.0f)", r.Dataset, r.Setting, r.Counts.Min)
+		}
+	}
+	if !strings.Contains(txt, "Fig. 6") {
+		t.Error("missing header")
+	}
+
+	rows9, txt9 := s.Fig9()
+	if len(rows9) != 2 {
+		t.Fatalf("%d fig9 rows", len(rows9))
+	}
+	for _, r := range rows9 {
+		// Monotone funnel: candidates >= filtered >= embeddings.
+		if r.Candidates < r.Filtered || r.Filtered < r.Embeddings {
+			t.Errorf("funnel violated: %+v", r)
+		}
+		if r.Embeddings == 0 {
+			t.Errorf("%s: no embeddings at all", r.Dataset)
+		}
+	}
+	if !strings.Contains(txt9, "Fig. 9") {
+		t.Error("missing header")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"SB", "WT"}
+	s := experiments.NewSuite(cfg)
+	rows, txt := s.Fig7()
+	if len(rows) != 2 {
+		t.Fatalf("%d fig7 rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BuildTime <= 0 || r.IndexBytes <= 0 || r.GraphBytes <= 0 {
+			t.Errorf("degenerate fig7 row %+v", r)
+		}
+	}
+	if !strings.Contains(txt, "Index Time") {
+		t.Error("missing column")
+	}
+}
+
+func TestFig8AndTable4(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"CH"}
+	cfg.Settings = []string{"q2"}
+	s := experiments.NewSuite(cfg)
+	cells, txt8, txt4 := s.Fig8()
+	if len(cells) != len(experiments.Fig8Methods) {
+		t.Fatalf("%d cells", len(cells))
+	}
+	var hgm, slowest time.Duration
+	for _, c := range cells {
+		if c.Total == 0 {
+			t.Fatalf("no queries ran: %+v", c)
+		}
+		if c.Method == "HGMatch" {
+			hgm = c.AvgTime
+			if c.Completed != c.Total {
+				t.Errorf("HGMatch did not complete all queries: %+v", c)
+			}
+		}
+		if c.AvgTime > slowest {
+			slowest = c.AvgTime
+		}
+	}
+	if hgm == 0 || slowest < hgm {
+		t.Errorf("timing looks wrong: hgmatch=%v slowest=%v", hgm, slowest)
+	}
+	if !strings.Contains(txt8, "HGMatch") || !strings.Contains(txt4, "Algorithm") {
+		t.Error("reports malformed")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	cfg := tinyConfig()
+	s := experiments.NewSuite(cfg)
+	rows, txt := s.Fig10([]int{1, 2})
+	if len(rows) == 0 {
+		t.Fatal("no fig10 rows")
+	}
+	for _, r := range rows {
+		if r.Threads == 1 && r.Speedup != 1 {
+			t.Errorf("t=1 speedup = %f", r.Speedup)
+		}
+	}
+	if !strings.Contains(txt, "Fig. 10") {
+		t.Error("missing header")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	s := experiments.NewSuite(tinyConfig())
+	rows, txt := s.Fig11()
+	if len(rows) == 0 {
+		t.Fatal("no fig11 rows")
+	}
+	for _, r := range rows {
+		if r.BFSPeak < int64(r.Embeddings/10) && r.Embeddings > 100 {
+			t.Errorf("BFS peak suspiciously small: %+v", r)
+		}
+	}
+	if !strings.Contains(txt, "Fig. 11") {
+		t.Error("missing header")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	s := experiments.NewSuite(tinyConfig())
+	rows, txt := s.Fig12(4)
+	if len(rows) != 4 {
+		t.Fatalf("%d fig12 rows", len(rows))
+	}
+	if !strings.Contains(txt, "counts equal: true") {
+		t.Errorf("stealing changed results:\n%s", txt)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	s := experiments.NewSuite(tinyConfig())
+	res, txt := s.Fig13()
+	if res.Query1Count < 2*uint64(res.PlantedQ1) {
+		t.Errorf("query1 count %d below planted %d", res.Query1Count, res.PlantedQ1)
+	}
+	if res.Query2Count < 2*uint64(res.PlantedQ2) {
+		t.Errorf("query2 count %d below planted %d", res.Query2Count, res.PlantedQ2)
+	}
+	if len(res.SampleQ1) == 0 || len(res.SampleQ2) == 0 {
+		t.Error("no sample answers rendered")
+	}
+	if !strings.Contains(txt, "Query 1") || !strings.Contains(txt, "Player") {
+		t.Errorf("report malformed:\n%s", txt)
+	}
+}
+
+func TestSuiteFilters(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"hc", "WT"}
+	cfg.Settings = []string{"Q3"}
+	s := experiments.NewSuite(cfg)
+	ds := s.DatasetNames()
+	if len(ds) != 2 || ds[0] != "HC" || ds[1] != "WT" {
+		t.Errorf("DatasetNames = %v", ds)
+	}
+	ss := s.SettingNames()
+	if len(ss) != 1 || ss[0] != "q3" {
+		t.Errorf("SettingNames = %v", ss)
+	}
+}
+
+func TestQueriesCachedAndDeterministic(t *testing.T) {
+	s := experiments.NewSuite(tinyConfig())
+	a := s.Queries("CH", "q2")
+	b := s.Queries("CH", "q2")
+	if len(a) == 0 {
+		t.Fatal("no queries")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("query cache broken")
+		}
+	}
+	s2 := experiments.NewSuite(tinyConfig())
+	c := s2.Queries("CH", "q2")
+	if len(c) != len(a) || c[0].NumVertices() != a[0].NumVertices() {
+		t.Error("query sampling not deterministic across suites")
+	}
+}

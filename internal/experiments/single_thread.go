@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hgmatch/internal/baseline"
+	"hgmatch/internal/bipartite"
+	"hgmatch/internal/core"
+	"hgmatch/internal/datagen"
+	"hgmatch/internal/engine"
+	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/stats"
+)
+
+// Table2Row is one row of Table II (plus the generated counterpart).
+type Table2Row struct {
+	Name                     string
+	Vertices, Edges, Labels  int
+	MaxArity                 int
+	AvgArity                 float64
+	IndexBytes, GraphBytes   int
+	PaperVertices, PaperEdge int
+}
+
+// Table2 reproduces Table II over the scaled datasets.
+func (s *Suite) Table2() ([]Table2Row, string) {
+	var rows []Table2Row
+	t := &table{header: []string{"Dataset", "|V|", "|E|", "|Σ|", "amax", "a", "|Index|", "paper |V|", "paper |E|"}}
+	for _, name := range s.DatasetNames() {
+		h := s.Dataset(name)
+		st := hypergraph.ComputeStats(h)
+		p, _ := datagen.ProfileByName(name)
+		row := Table2Row{
+			Name: name, Vertices: st.NumVertices, Edges: st.NumEdges,
+			Labels: st.NumLabels, MaxArity: st.MaxArity, AvgArity: st.AvgArity,
+			IndexBytes: st.IndexBytes, GraphBytes: st.GraphBytes,
+			PaperVertices: p.PaperVertices, PaperEdge: p.PaperEdges,
+		}
+		rows = append(rows, row)
+		t.add(name,
+			fmt.Sprintf("%d", row.Vertices), fmt.Sprintf("%d", row.Edges),
+			fmt.Sprintf("%d", row.Labels), fmt.Sprintf("%d", row.MaxArity),
+			fmt.Sprintf("%.1f", row.AvgArity), stats.FormatBytes(int64(row.IndexBytes)),
+			fmt.Sprintf("%d", row.PaperVertices), fmt.Sprintf("%d", row.PaperEdge))
+	}
+	return rows, "Table II — dataset statistics (scaled synthetic stand-ins)\n" + t.String()
+}
+
+// Fig6Row summarises embedding-count distributions for one (dataset,
+// setting) cell of Fig. 6.
+type Fig6Row struct {
+	Dataset, Setting string
+	Counts           stats.FiveNum
+	Queries          int
+}
+
+// Fig6 reproduces the embedding-count box plots: for every dataset and
+// query setting, the distribution of result counts over the sampled
+// workload.
+func (s *Suite) Fig6() ([]Fig6Row, string) {
+	var rows []Fig6Row
+	t := &table{header: []string{"Dataset", "Setting", "n", "min", "q1", "median", "q3", "max"}}
+	for _, ds := range s.DatasetNames() {
+		h := s.Dataset(ds)
+		for _, set := range s.SettingNames() {
+			var counts []float64
+			for _, q := range s.Queries(ds, set) {
+				n := s.countEmbeddings(q, h)
+				counts = append(counts, float64(n))
+			}
+			f := stats.Summarize(counts)
+			rows = append(rows, Fig6Row{Dataset: ds, Setting: set, Counts: f, Queries: len(counts)})
+			t.add(ds, set, fmt.Sprintf("%d", f.N),
+				stats.FormatCount(uint64(f.Min)), stats.FormatCount(uint64(f.Q1)),
+				stats.FormatCount(uint64(f.Median)), stats.FormatCount(uint64(f.Q3)),
+				stats.FormatCount(uint64(f.Max)))
+		}
+	}
+	return rows, "Fig. 6 — number-of-embeddings distributions (box-plot five-number summaries)\n" + t.String()
+}
+
+func (s *Suite) countEmbeddings(q, h *hypergraph.Hypergraph) uint64 {
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		return 0
+	}
+	res := engine.Run(p, engine.Options{
+		Workers: s.Cfg.Workers,
+		Limit:   s.Cfg.MaxEmbeddings,
+		Timeout: s.Cfg.Timeout,
+	})
+	return res.Embeddings
+}
+
+// Fig7Row is one dataset's index-building measurement.
+type Fig7Row struct {
+	Dataset    string
+	BuildTime  time.Duration
+	GraphBytes int
+	IndexBytes int
+}
+
+// Fig7 reproduces Exp-1: offline index building time, graph size and index
+// size. Building is re-done from raw edges to time the full preprocessing.
+func (s *Suite) Fig7() ([]Fig7Row, string) {
+	var rows []Fig7Row
+	t := &table{header: []string{"Dataset", "Index Time", "Graph Size", "Index Size"}}
+	for _, name := range s.DatasetNames() {
+		h := s.Dataset(name)
+		// Rebuild from raw hyperedges to measure preprocessing honestly.
+		labels := append([]hypergraph.Label(nil), h.Labels()...)
+		edges := make([][]uint32, h.NumEdges())
+		for e := 0; e < h.NumEdges(); e++ {
+			edges[e] = append([]uint32(nil), h.Edge(uint32(e))...)
+		}
+		t0 := time.Now()
+		rebuilt, err := hypergraph.FromEdges(labels, edges)
+		if err != nil {
+			panic(err)
+		}
+		dt := time.Since(t0)
+		st := hypergraph.ComputeStats(rebuilt)
+		rows = append(rows, Fig7Row{Dataset: name, BuildTime: dt, GraphBytes: st.GraphBytes, IndexBytes: st.IndexBytes})
+		t.add(name, stats.FormatDuration(dt), stats.FormatBytes(int64(st.GraphBytes)), stats.FormatBytes(int64(st.IndexBytes)))
+	}
+	return rows, "Fig. 7 — Exp-1 index building time and size\n" + t.String()
+}
+
+// Methods compared in Fig. 8 / Table IV, in the paper's presentation order.
+var Fig8Methods = []string{"RapidMatch", "DAF-H", "CFL-H", "CECI-H", "HGMatch"}
+
+// Fig8Cell is one (dataset, setting, method) measurement.
+type Fig8Cell struct {
+	Dataset, Setting, Method string
+	AvgTime                  time.Duration // timeouts counted at Cfg.Timeout
+	Completed, Total         int
+}
+
+// Fig8 reproduces Exp-2: single-thread comparison of HGMatch against
+// CFL-H, DAF-H, CECI-H and RapidMatch, and Table IV completion ratios.
+// Following the paper, the time of a timed-out query is counted as the
+// timeout when averaging, and AR is excluded from single-thread runs (the
+// suite's dataset filter handles that at the call site).
+func (s *Suite) Fig8() ([]Fig8Cell, string, string) {
+	var cells []Fig8Cell
+	t := &table{header: append([]string{"Dataset", "Setting"}, Fig8Methods...)}
+	type key struct{ ds, m string }
+	completed := map[key]int{}
+	total := map[key]int{}
+
+	for _, ds := range s.DatasetNames() {
+		h := s.Dataset(ds)
+		for _, set := range s.SettingNames() {
+			queries := s.Queries(ds, set)
+			times := map[string][]float64{}
+			comp := map[string]int{}
+			for _, q := range queries {
+				for _, m := range Fig8Methods {
+					dt, ok := s.runSingle(m, ds, q, h)
+					times[m] = append(times[m], dt.Seconds())
+					if ok {
+						comp[m]++
+					}
+				}
+			}
+			row := []string{ds, set}
+			for _, m := range Fig8Methods {
+				avg := time.Duration(stats.Mean(times[m]) * float64(time.Second))
+				cells = append(cells, Fig8Cell{
+					Dataset: ds, Setting: set, Method: m,
+					AvgTime: avg, Completed: comp[m], Total: len(queries),
+				})
+				completed[key{ds, m}] += comp[m]
+				total[key{ds, m}] += len(queries)
+				row = append(row, stats.FormatDuration(avg))
+			}
+			t.add(row...)
+		}
+	}
+
+	// Table IV: completion ratios per dataset and method.
+	t4 := &table{header: append([]string{"Algorithm"}, append(s.DatasetNames(), "Total")...)}
+	for _, m := range Fig8Methods {
+		row := []string{m}
+		compT, totT := 0, 0
+		for _, ds := range s.DatasetNames() {
+			c, n := completed[key{ds, m}], total[key{ds, m}]
+			compT += c
+			totT += n
+			if n == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%d%%", 100*c/n))
+			}
+		}
+		if totT > 0 {
+			row = append(row, fmt.Sprintf("%d%%", 100*compT/totT))
+		} else {
+			row = append(row, "-")
+		}
+		t4.add(row...)
+	}
+	return cells,
+		"Fig. 8 — Exp-2 single-thread comparison (average elapsed time; timeouts count as the limit)\n" + t.String(),
+		"Table IV — query completion ratio (single-thread)\n" + t4.String()
+}
+
+// bipartiteOf returns (converting once) the dataset's bipartite form; the
+// conversion is offline preprocessing for the RapidMatch baseline, like
+// HGMatch's index build, so it is cached and excluded from query timing.
+func (s *Suite) bipartiteOf(name string) *bipartite.Graph {
+	if g, ok := s.bipartite[name]; ok {
+		return g
+	}
+	g := bipartite.Convert(s.Dataset(name))
+	s.bipartite[name] = g
+	return g
+}
+
+// runSingle executes one query with one method single-threaded under the
+// suite timeout; ok reports completion within the limit.
+func (s *Suite) runSingle(method, ds string, q, h *hypergraph.Hypergraph) (time.Duration, bool) {
+	switch method {
+	case "HGMatch":
+		p, err := core.NewPlan(q, h)
+		if err != nil {
+			return 0, false
+		}
+		res := engine.Run(p, engine.Options{Workers: 1, Timeout: s.Cfg.Timeout, Limit: s.Cfg.MaxEmbeddings})
+		if res.TimedOut {
+			return s.Cfg.Timeout, false
+		}
+		return res.Elapsed, true
+	case "RapidMatch":
+		res := bipartite.Match(q, bipartite.Convert(q), s.bipartiteOf(ds),
+			bipartite.Options{Timeout: s.Cfg.Timeout, Limit: s.Cfg.MaxEmbeddings})
+		if res.TimedOut {
+			return s.Cfg.Timeout, false
+		}
+		return res.Elapsed, true
+	default:
+		var alg baseline.Algorithm
+		switch method {
+		case "CFL-H":
+			alg = baseline.CFLH
+		case "DAF-H":
+			alg = baseline.DAFH
+		case "CECI-H":
+			alg = baseline.CECIH
+		default:
+			return 0, false
+		}
+		res := baseline.Match(q, h, baseline.Options{Algorithm: alg, Timeout: s.Cfg.Timeout, Limit: s.Cfg.MaxEmbeddings})
+		if res.TimedOut {
+			return s.Cfg.Timeout, false
+		}
+		return res.Elapsed, true
+	}
+}
+
+// Fig9Row aggregates Exp-3 counters for one dataset.
+type Fig9Row struct {
+	Dataset    string
+	Candidates uint64 // Algorithm 4 output
+	Filtered   uint64 // after the Observation V.5 check
+	Embeddings uint64 // true embeddings
+}
+
+// Fig9 reproduces Exp-3: pruning power of candidate generation and
+// embedding validation, summed over all queries per dataset. The paper's
+// headline: ~97% of Filtered results are true embeddings.
+func (s *Suite) Fig9() ([]Fig9Row, string) {
+	var rows []Fig9Row
+	t := &table{header: []string{"Dataset", "Candidates", "Filtered", "Embeddings", "Filtered→Emb"}}
+	for _, ds := range s.DatasetNames() {
+		h := s.Dataset(ds)
+		var row Fig9Row
+		row.Dataset = ds
+		for _, set := range s.SettingNames() {
+			for _, q := range s.Queries(ds, set) {
+				p, err := core.NewPlan(q, h)
+				if err != nil {
+					continue
+				}
+				res := engine.Run(p, engine.Options{
+					Workers: s.Cfg.Workers, Timeout: s.Cfg.Timeout, Limit: s.Cfg.MaxEmbeddings,
+				})
+				row.Candidates += res.Counters.Candidates
+				row.Filtered += res.Counters.Filtered
+				row.Embeddings += res.Embeddings
+			}
+		}
+		rows = append(rows, row)
+		ratio := "-"
+		if row.Filtered > 0 {
+			ratio = fmt.Sprintf("%.0f%%", 100*float64(row.Embeddings)/float64(row.Filtered))
+		}
+		t.add(ds, stats.FormatCount(row.Candidates), stats.FormatCount(row.Filtered),
+			stats.FormatCount(row.Embeddings), ratio)
+	}
+	return rows, "Fig. 9 — Exp-3 candidate filtering (totals over the query workload)\n" + t.String()
+}

@@ -1,0 +1,72 @@
+package hgio
+
+import (
+	"errors"
+
+	"hgmatch/internal/hypergraph"
+)
+
+// ErrNoDicts is returned by AlignLabels when either graph lacks a label
+// dictionary, so names cannot mediate between the two ID spaces.
+var ErrNoDicts = errors.New("hgio: both graphs need label dictionaries to align")
+
+// AlignLabels rebuilds query so that its numeric label IDs agree with
+// data's, resolving labels by dictionary NAME. This matters when a query
+// and a dataset are loaded from separate files: each file interns label
+// names in its own first-appearance order, so the numeric IDs — which the
+// matcher compares — can be permuted between the two graphs even when the
+// names agree.
+//
+// Query labels whose names do not occur in the data dictionary are mapped
+// to fresh IDs beyond the data's label space; they can never match, which
+// is the correct semantics (the result set is empty, and Plan.Empty will
+// report it). Edge labels are aligned the same way when both graphs carry
+// edge dictionaries.
+func AlignLabels(query, data *hypergraph.Hypergraph) (*hypergraph.Hypergraph, error) {
+	qd, dd := query.Dict(), data.Dict()
+	if qd == nil || dd == nil {
+		return nil, ErrNoDicts
+	}
+	mapLabel := nameMapper(qd, dd)
+	var mapEdgeLabel func(hypergraph.Label) hypergraph.Label
+	if qed, ded := query.EdgeDict(), data.EdgeDict(); qed != nil && ded != nil {
+		mapEdgeLabel = nameMapper(qed, ded)
+	}
+
+	b := hypergraph.NewBuilder().WithDicts(dd, data.EdgeDict())
+	for v := 0; v < query.NumVertices(); v++ {
+		b.AddVertex(mapLabel(query.Label(uint32(v))))
+	}
+	for e := 0; e < query.NumEdges(); e++ {
+		id := hypergraph.EdgeID(e)
+		el := query.EdgeLabel(id)
+		if el != hypergraph.NoEdgeLabel && mapEdgeLabel != nil {
+			b.AddLabelledEdge(mapEdgeLabel(el), query.Edge(id)...)
+		} else if el != hypergraph.NoEdgeLabel {
+			b.AddLabelledEdge(el, query.Edge(id)...)
+		} else {
+			b.AddEdge(query.Edge(id)...)
+		}
+	}
+	return b.Build()
+}
+
+// nameMapper translates label IDs from one dictionary to another by name.
+// Unknown names get stable fresh IDs beyond the target's space (equal
+// names share the fresh ID, so query-internal label equality is kept).
+func nameMapper(from, to *hypergraph.Dict) func(hypergraph.Label) hypergraph.Label {
+	fresh := hypergraph.Label(to.Len())
+	assigned := make(map[string]hypergraph.Label)
+	return func(l hypergraph.Label) hypergraph.Label {
+		name := from.Name(l)
+		if tl, ok := to.Lookup(name); ok {
+			return tl
+		}
+		if tl, ok := assigned[name]; ok {
+			return tl
+		}
+		assigned[name] = fresh
+		fresh++
+		return assigned[name]
+	}
+}

@@ -1,0 +1,140 @@
+package hgio_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hgmatch/internal/core"
+	"hgmatch/internal/datagen"
+	"hgmatch/internal/hgio"
+	"hgmatch/internal/hgtest"
+	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/querygen"
+)
+
+// TestAlignAfterSeparateSerialisation is the end-to-end scenario the CLI
+// hits: a dataset and a query sampled from it are written to separate
+// files, reloaded (each interning labels independently), aligned, and must
+// report the same embedding count as the in-memory pair.
+func TestAlignAfterSeparateSerialisation(t *testing.T) {
+	p, _ := datagen.ProfileByName("CP")
+	h := datagen.Generate(p.Scaled(0.2), 4)
+	s, _ := querygen.SettingByName("q2")
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5; i++ {
+		q := querygen.Sample(rng, h, s)
+		if q == nil {
+			t.Fatal("no query")
+		}
+		plan, err := core.NewPlan(q, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := plan.CountSequential()
+
+		var hb, qb bytes.Buffer
+		if err := hgio.Write(&hb, h); err != nil {
+			t.Fatal(err)
+		}
+		if err := hgio.Write(&qb, q); err != nil {
+			t.Fatal(err)
+		}
+		h2, err := hgio.Read(&hb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := hgio.Read(&qb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2a, err := hgio.AlignLabels(q2, h2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan2, err := core.NewPlan(q2a, h2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := plan2.CountSequential()
+		if got != want {
+			t.Fatalf("query %d: aligned count %d, in-memory %d", i, got, want)
+		}
+	}
+}
+
+func TestAlignUnknownLabels(t *testing.T) {
+	dd := hypergraph.NewDict()
+	db := hypergraph.NewBuilder().WithDicts(dd, nil)
+	db.AddVertex(dd.Intern("A"))
+	db.AddVertex(dd.Intern("A"))
+	db.AddEdge(0, 1)
+	data := db.MustBuild()
+
+	qd := hypergraph.NewDict()
+	qb := hypergraph.NewBuilder().WithDicts(qd, nil)
+	qb.AddVertex(qd.Intern("Z")) // unknown in data
+	qb.AddVertex(qd.Intern("Z"))
+	qb.AddEdge(0, 1)
+	query := qb.MustBuild()
+
+	aligned, err := hgio.AlignLabels(query, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Internal equality preserved: both vertices share the fresh label.
+	if aligned.Label(0) != aligned.Label(1) {
+		t.Error("unknown labels lost internal equality")
+	}
+	// And it matches nothing.
+	p, err := core.NewPlan(aligned, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := p.CountSequential(); n != 0 {
+		t.Errorf("unknown-label query matched %d", n)
+	}
+}
+
+func TestAlignRequiresDicts(t *testing.T) {
+	h := hgtest.Fig1Data() // no dict
+	if _, err := hgio.AlignLabels(h, h); err == nil {
+		t.Error("AlignLabels without dicts should fail")
+	}
+}
+
+func TestAlignEdgeLabels(t *testing.T) {
+	ded := hypergraph.NewDict()
+	dd := hypergraph.NewDict()
+	db := hypergraph.NewBuilder().WithDicts(dd, ded)
+	db.AddVertex(dd.Intern("T"))
+	db.AddVertex(dd.Intern("T"))
+	db.AddLabelledEdge(ded.Intern("owns"), 0, 1)
+	db.AddLabelledEdge(ded.Intern("likes"), 0, 1)
+	data := db.MustBuild()
+
+	// Query interns "likes" FIRST, so its numeric edge-label IDs are
+	// swapped relative to the data's.
+	qed := hypergraph.NewDict()
+	qd := hypergraph.NewDict()
+	qb := hypergraph.NewBuilder().WithDicts(qd, qed)
+	qb.AddVertex(qd.Intern("T"))
+	qb.AddVertex(qd.Intern("T"))
+	qb.AddLabelledEdge(qed.Intern("likes"), 0, 1)
+	query := qb.MustBuild()
+
+	aligned, err := hgio.AlignLabels(query, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlan(aligned, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one data hyperedge carries the "likes" label, so the query
+	// has exactly one embedding; without alignment the swapped numeric
+	// IDs would match "owns" instead.
+	if n, _ := p.CountSequential(); n != 1 {
+		t.Fatalf("aligned edge-labelled count = %d, want 1", n)
+	}
+}

@@ -1,0 +1,250 @@
+package hgio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"hgmatch/internal/hypergraph"
+)
+
+// Binary format: a compact varint encoding for large hypergraphs where the
+// text format's parse cost matters (the paper's AR stand-in is ~4M
+// hyperedges at full scale). Layout:
+//
+//	magic "HGB1"
+//	uvarint numVertices, numEdges, numDictEntries, flags
+//	dict entries: uvarint len + bytes (vertex label names, index = Label)
+//	vertex labels: uvarint per vertex
+//	per edge: [uvarint edgeLabel+1 when flagEdgeLabels] uvarint arity,
+//	          then delta-encoded sorted vertex IDs (uvarint first,
+//	          uvarint gaps)
+//
+// Edge labels use +1 so NoEdgeLabel encodes as 0.
+const binaryMagic = "HGB1"
+
+const flagEdgeLabels = 1
+
+// WriteBinary serialises h in the binary format.
+func WriteBinary(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUv := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	flags := uint64(0)
+	if h.EdgeLabelled() {
+		flags |= flagEdgeLabels
+	}
+	dictLen := 0
+	if d := h.Dict(); d != nil {
+		dictLen = d.Len()
+	}
+	for _, x := range []uint64{uint64(h.NumVertices()), uint64(h.NumEdges()), uint64(dictLen), flags} {
+		if err := putUv(x); err != nil {
+			return err
+		}
+	}
+	if d := h.Dict(); d != nil {
+		for l := 0; l < d.Len(); l++ {
+			name := d.Name(hypergraph.Label(l))
+			if err := putUv(uint64(len(name))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(name); err != nil {
+				return err
+			}
+		}
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if err := putUv(uint64(h.Label(uint32(v)))); err != nil {
+			return err
+		}
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		id := hypergraph.EdgeID(e)
+		if h.EdgeLabelled() {
+			el := h.EdgeLabel(id)
+			enc := uint64(0)
+			if el != hypergraph.NoEdgeLabel {
+				enc = uint64(el) + 1
+			}
+			if err := putUv(enc); err != nil {
+				return err
+			}
+		}
+		vs := h.Edge(id)
+		if err := putUv(uint64(len(vs))); err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i, v := range vs {
+			x := uint64(v)
+			if i > 0 {
+				x -= prev + 1 // strictly increasing: gap-1 encoding
+			}
+			if err := putUv(x); err != nil {
+				return err
+			}
+			prev = uint64(v)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) (*hypergraph.Hypergraph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("hgio: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("hgio: bad magic %q", magic)
+	}
+	getUv := func(what string) (uint64, error) {
+		x, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("hgio: reading %s: %w", what, err)
+		}
+		return x, nil
+	}
+	nv, err := getUv("vertex count")
+	if err != nil {
+		return nil, err
+	}
+	ne, err := getUv("edge count")
+	if err != nil {
+		return nil, err
+	}
+	nd, err := getUv("dict size")
+	if err != nil {
+		return nil, err
+	}
+	flags, err := getUv("flags")
+	if err != nil {
+		return nil, err
+	}
+	const sanity = 1 << 31
+	if nv > sanity || ne > sanity || nd > sanity {
+		return nil, fmt.Errorf("hgio: implausible sizes v=%d e=%d d=%d", nv, ne, nd)
+	}
+	var dict *hypergraph.Dict
+	if nd > 0 {
+		dict = hypergraph.NewDict()
+		for i := uint64(0); i < nd; i++ {
+			l, err := getUv("dict entry length")
+			if err != nil {
+				return nil, err
+			}
+			if l > 1<<20 {
+				return nil, fmt.Errorf("hgio: implausible label length %d", l)
+			}
+			name := make([]byte, l)
+			if _, err := io.ReadFull(br, name); err != nil {
+				return nil, fmt.Errorf("hgio: reading dict entry: %w", err)
+			}
+			dict.Intern(string(name))
+		}
+	}
+	b := hypergraph.NewBuilder().WithDicts(dict, nil)
+	for v := uint64(0); v < nv; v++ {
+		l, err := getUv("vertex label")
+		if err != nil {
+			return nil, err
+		}
+		b.AddVertex(hypergraph.Label(l))
+	}
+	hasEL := flags&flagEdgeLabels != 0
+	for e := uint64(0); e < ne; e++ {
+		el := hypergraph.NoEdgeLabel
+		if hasEL {
+			enc, err := getUv("edge label")
+			if err != nil {
+				return nil, err
+			}
+			if enc > 0 {
+				el = hypergraph.Label(enc - 1)
+			}
+		}
+		arity, err := getUv("arity")
+		if err != nil {
+			return nil, err
+		}
+		if arity > nv {
+			return nil, fmt.Errorf("hgio: edge %d arity %d exceeds vertex count", e, arity)
+		}
+		vs := make([]uint32, arity)
+		prev := uint64(0)
+		for i := range vs {
+			x, err := getUv("vertex id")
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 {
+				x += prev + 1
+			}
+			if x >= nv {
+				return nil, fmt.Errorf("hgio: edge %d references vertex %d of %d", e, x, nv)
+			}
+			vs[i] = uint32(x)
+			prev = x
+		}
+		if hasEL && el != hypergraph.NoEdgeLabel {
+			b.AddLabelledEdge(el, vs...)
+		} else {
+			b.AddEdge(vs...)
+		}
+	}
+	return b.Build()
+}
+
+// WriteBinaryFile writes the binary format to a path.
+func WriteBinaryFile(path string, h *hypergraph.Hypergraph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, h); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile reads the binary format from a path.
+func ReadBinaryFile(path string) (*hypergraph.Hypergraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// ReadAuto reads either format, sniffing the magic bytes.
+func ReadAuto(r io.Reader) (*hypergraph.Hypergraph, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}
+
+// ReadAutoFile reads either format from a path.
+func ReadAutoFile(path string) (*hypergraph.Hypergraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAuto(f)
+}

@@ -1,0 +1,72 @@
+package hgio_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hgmatch/internal/hgio"
+	"hgmatch/internal/hgtest"
+)
+
+// TestBinaryReaderNeverPanics feeds random byte soup (with and without a
+// valid magic prefix) to the binary reader: it must return an error or a
+// valid graph, never panic or hang.
+func TestBinaryReaderNeverPanics(t *testing.T) {
+	f := func(raw []byte, withMagic bool) bool {
+		input := raw
+		if withMagic {
+			input = append([]byte("HGB1"), raw...)
+		}
+		h, err := hgio.ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return true
+		}
+		return h.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryBitFlips: single-byte corruptions of a real file must never
+// panic, and must either error out or decode to a structurally valid
+// graph.
+func TestBinaryBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+		NumVertices: 30, NumEdges: 50, NumLabels: 4, MaxArity: 5,
+	})
+	var buf bytes.Buffer
+	if err := hgio.WriteBinary(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for trial := 0; trial < 300; trial++ {
+		corrupted := append([]byte(nil), orig...)
+		i := rng.Intn(len(corrupted))
+		corrupted[i] ^= byte(1 << rng.Intn(8))
+		got, err := hgio.ReadBinary(bytes.NewReader(corrupted))
+		if err != nil {
+			continue
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("trial %d (byte %d): decoded structurally invalid graph: %v", trial, i, verr)
+		}
+	}
+}
+
+// TestTextReaderNeverPanics does the same for the text reader.
+func TestTextReaderNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		h, err := hgio.Read(bytes.NewReader(raw))
+		if err != nil {
+			return true
+		}
+		return h.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package hgtest_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hgmatch/internal/hgtest"
+)
+
+func TestFixturesAreValid(t *testing.T) {
+	for name, h := range map[string]interface{ Validate() error }{
+		"Fig1Data":             hgtest.Fig1Data(),
+		"Fig1Query":            hgtest.Fig1Query(),
+		"Fig4PartialQuery":     hgtest.Fig4PartialQuery(),
+		"Fig4PartialEmbedding": hgtest.Fig4PartialEmbedding(),
+	} {
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRandomHypergraphDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+		NumVertices: 10, NumEdges: 10, // zero labels/arity: defaults kick in
+	})
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+}
+
+func TestConnectedQueryFromWalkBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := hgtest.Fig1Data()
+	if q := hgtest.ConnectedQueryFromWalk(rng, h, 0); q != nil {
+		t.Error("n=0 should yield nil")
+	}
+	if q := hgtest.ConnectedQueryFromWalk(rng, h, 100); q != nil {
+		t.Error("oversized walk should yield nil")
+	}
+	q := hgtest.ConnectedQueryFromWalk(rng, h, 2)
+	if q == nil || q.NumEdges() != 2 {
+		t.Fatalf("walk query = %v", q)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"hgmatch/internal/setops"
+)
+
+// Builder accumulates vertices and hyperedges and produces an immutable,
+// indexed Hypergraph. Building performs the paper's offline preprocessing
+// (§IV, §VII-A): repeated vertices within a hyperedge and repeated
+// hyperedges are removed, then the hyperedge tables are partitioned by
+// signature and the inverted hyperedge index is constructed per table.
+type Builder struct {
+	labels     []Label
+	edges      [][]uint32
+	edgeLabels []Label
+	dict       *Dict
+	edgeDict   *Dict
+	hasEdgeLbl bool
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// WithDicts attaches label dictionaries so the built graph can render label
+// names; optional.
+func (b *Builder) WithDicts(vertex, edge *Dict) *Builder {
+	b.dict, b.edgeDict = vertex, edge
+	return b
+}
+
+// AddVertex appends a vertex with the given label and returns its ID.
+func (b *Builder) AddVertex(l Label) VertexID {
+	b.labels = append(b.labels, l)
+	return VertexID(len(b.labels) - 1)
+}
+
+// AddVertices appends n vertices with the given label, returning the first
+// new ID.
+func (b *Builder) AddVertices(n int, l Label) VertexID {
+	first := VertexID(len(b.labels))
+	for i := 0; i < n; i++ {
+		b.labels = append(b.labels, l)
+	}
+	return first
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.labels) }
+
+// AddEdge appends a hyperedge over the given vertices. The slice is copied;
+// order and duplicates are normalised at Build time.
+func (b *Builder) AddEdge(vertices ...uint32) {
+	b.edges = append(b.edges, append([]uint32(nil), vertices...))
+	b.edgeLabels = append(b.edgeLabels, NoEdgeLabel)
+}
+
+// AddLabelledEdge appends a hyperedge carrying a hyperedge label (the
+// footnote-2 extension). Mixing labelled and unlabelled edges is allowed;
+// unlabelled edges get NoEdgeLabel.
+func (b *Builder) AddLabelledEdge(label Label, vertices ...uint32) {
+	b.edges = append(b.edges, append([]uint32(nil), vertices...))
+	b.edgeLabels = append(b.edgeLabels, label)
+	b.hasEdgeLbl = true
+}
+
+// Build normalises, deduplicates, partitions and indexes, producing the
+// immutable Hypergraph. The builder may be reused afterwards, but edges
+// added before Build are retained.
+func (b *Builder) Build() (*Hypergraph, error) {
+	h := &Hypergraph{
+		labels:    append([]Label(nil), b.labels...),
+		dict:      b.dict,
+		edgeDict:  b.edgeDict,
+		partBySig: make(map[string]int),
+	}
+
+	// Normalise and deduplicate hyperedges. The dedup key includes the edge
+	// label so that two same-vertex edges with different labels coexist
+	// (they are distinct relations in an edge-labelled hypergraph).
+	type pending struct {
+		vs    []uint32
+		label Label
+	}
+	seen := make(map[string]bool, len(b.edges))
+	var kept []pending
+	for i, raw := range b.edges {
+		vs := append([]uint32(nil), raw...)
+		sort.Slice(vs, func(a, c int) bool { return vs[a] < vs[c] })
+		vs = setops.Dedup(vs)
+		if len(vs) == 0 {
+			continue // paper: hyperedges are non-empty subsets
+		}
+		for _, v := range vs {
+			if int(v) >= len(h.labels) {
+				return nil, fmt.Errorf("hypergraph: edge %d references unknown vertex %d", i, v)
+			}
+		}
+		el := b.edgeLabels[i]
+		key := keyWithEdgeLabel(el, Signature(vs)) // vertex IDs as pseudo-signature: exact-set key
+		if seen[key] {
+			continue // repeated hyperedge: dropped, per paper preprocessing
+		}
+		seen[key] = true
+		kept = append(kept, pending{vs: vs, label: el})
+	}
+
+	h.edges = make([][]uint32, len(kept))
+	if b.hasEdgeLbl {
+		h.edgeLabels = make([]Label, len(kept))
+	}
+	for i, p := range kept {
+		h.edges[i] = p.vs
+		if b.hasEdgeLbl {
+			h.edgeLabels[i] = p.label
+		}
+		h.totalArity += len(p.vs)
+		if len(p.vs) > h.maxArity {
+			h.maxArity = len(p.vs)
+		}
+	}
+
+	h.buildIncidence()
+	h.buildPartitions()
+	h.countLabels()
+	return h, nil
+}
+
+// MustBuild is Build that panics on error; convenient in tests and
+// generators where inputs are known valid.
+func (b *Builder) MustBuild() *Hypergraph {
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func (h *Hypergraph) buildIncidence() {
+	deg := make([]int, len(h.labels))
+	for _, vs := range h.edges {
+		for _, v := range vs {
+			deg[v]++
+		}
+	}
+	// Single backing array, sliced per vertex (avoids len(V) small allocs).
+	backing := make([]uint32, h.totalArity)
+	h.incidence = make([][]uint32, len(h.labels))
+	off := 0
+	for v, d := range deg {
+		h.incidence[v] = backing[off : off : off+d]
+		off += d
+	}
+	for e, vs := range h.edges {
+		for _, v := range vs {
+			h.incidence[v] = append(h.incidence[v], EdgeID(e))
+		}
+	}
+	// Edges were appended in increasing e, so lists are already sorted.
+}
+
+func (h *Hypergraph) buildPartitions() {
+	h.edgePart = make([]uint32, len(h.edges))
+	type agg struct {
+		sig   Signature
+		elbl  Label
+		edges []EdgeID
+	}
+	byKey := make(map[string]*agg)
+	var order []string // deterministic: first-appearance order, sorted below
+	for e, vs := range h.edges {
+		sig := SignatureOf(vs, h.labels)
+		el := NoEdgeLabel
+		if h.edgeLabels != nil {
+			el = h.edgeLabels[e]
+		}
+		key := keyWithEdgeLabel(el, sig)
+		a, ok := byKey[key]
+		if !ok {
+			a = &agg{sig: sig, elbl: el}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.edges = append(a.edges, EdgeID(e))
+	}
+	sort.Strings(order) // canonical partition order: by (edge label, signature)
+	h.partitions = make([]*Partition, 0, len(order))
+	for pi, key := range order {
+		a := byKey[key]
+		p := &Partition{
+			Sig:       a.sig,
+			EdgeLabel: a.elbl,
+			Edges:     a.edges, // appended in increasing e => sorted
+			postings:  make(map[VertexID][]EdgeID),
+		}
+		for _, e := range a.edges {
+			h.edgePart[e] = uint32(pi)
+			for _, v := range h.edges[e] {
+				p.postings[v] = append(p.postings[v], e)
+			}
+		}
+		h.partitions = append(h.partitions, p)
+		h.partBySig[keyString(p)] = pi
+	}
+}
+
+// keyString returns the partition's lookup key. Vertex-label-only graphs
+// use the bare signature key so PartitionFor(sig) works without an edge
+// label; edge-labelled graphs include the label.
+func keyString(p *Partition) string {
+	if p.EdgeLabel == NoEdgeLabel {
+		return string(p.Sig.Key())
+	}
+	return keyWithEdgeLabel(p.EdgeLabel, p.Sig)
+}
+
+// PartitionForLabelled returns the table for (edge label, signature) in an
+// edge-labelled hypergraph.
+func (h *Hypergraph) PartitionForLabelled(el Label, sig Signature) *Partition {
+	key := keyWithEdgeLabel(el, sig)
+	if el == NoEdgeLabel {
+		key = string(sig.Key())
+	}
+	i, ok := h.partBySig[key]
+	if !ok {
+		return nil
+	}
+	return h.partitions[i]
+}
+
+func (h *Hypergraph) countLabels() {
+	seen := make(map[Label]bool)
+	for _, l := range h.labels {
+		seen[l] = true
+	}
+	h.numLabels = len(seen)
+}
+
+// FromEdges is a convenience constructor: vertex i gets labels[i], and each
+// entry of edges is one hyperedge's vertex list.
+func FromEdges(labels []Label, edges [][]uint32) (*Hypergraph, error) {
+	b := NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for _, e := range edges {
+		b.AddEdge(e...)
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(labels []Label, edges [][]uint32) *Hypergraph {
+	h, err := FromEdges(labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,49 @@
+package hypergraph
+
+import "fmt"
+
+// Extract builds the standalone subhypergraph induced by the given
+// hyperedges of h: vertices are renumbered densely in first-appearance
+// order (iterating the edges as given, members in sorted order), labels
+// and hyperedge labels carry over, and h's dictionaries are shared so the
+// extract stays name-compatible with its source. The input edge list may
+// contain duplicates; they collapse (the result is a simple hypergraph).
+//
+// This is how query hypergraphs are materialised from sampled data
+// hyperedges (paper §VII-A: queries are randomly sampled subhypergraphs).
+func Extract(h *Hypergraph, edges []EdgeID) (*Hypergraph, error) {
+	b := NewBuilder().WithDicts(h.Dict(), h.EdgeDict())
+	remap := make(map[uint32]uint32)
+	for _, e := range edges {
+		if int(e) >= h.NumEdges() {
+			return nil, fmt.Errorf("hypergraph: extract references unknown edge %d", e)
+		}
+		for _, v := range h.Edge(e) {
+			if _, ok := remap[v]; !ok {
+				remap[v] = b.AddVertex(h.Label(v))
+			}
+		}
+	}
+	for _, e := range edges {
+		vs := make([]uint32, 0, h.Arity(e))
+		for _, v := range h.Edge(e) {
+			vs = append(vs, remap[v])
+		}
+		if el := h.EdgeLabel(e); el != NoEdgeLabel {
+			b.AddLabelledEdge(el, vs...)
+		} else {
+			b.AddEdge(vs...)
+		}
+	}
+	return b.Build()
+}
+
+// MustExtract is Extract that panics on error; for callers with validated
+// edge IDs.
+func MustExtract(h *Hypergraph, edges []EdgeID) *Hypergraph {
+	out, err := Extract(h, edges)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package hypergraph_test
+
+import (
+	"testing"
+
+	"hgmatch/internal/hgtest"
+	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/setops"
+)
+
+func TestExtractBasic(t *testing.T) {
+	h := hgtest.Fig1Data()
+	// Extract e1={v2,v4} and e3={v0,v1,v2}: 4 distinct vertices.
+	sub, err := hypergraph.Extract(h, []hypergraph.EdgeID{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 4 || sub.NumEdges() != 2 {
+		t.Fatalf("extract shape %v", sub)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Label multiset preserved per edge: signatures must match.
+	for i, src := range []hypergraph.EdgeID{0, 2} {
+		want := hypergraph.SignatureOf(h.Edge(src), h.Labels())
+		got := hypergraph.SignatureOf(sub.Edge(uint32(i)), sub.Labels())
+		if !got.Equal(want) {
+			t.Errorf("edge %d signature %v, want %v", i, got, want)
+		}
+	}
+	// Shared vertex v2 remains shared.
+	if setops.IntersectCount(sub.Edge(0), sub.Edge(1)) != 1 {
+		t.Error("shared vertex lost in extraction")
+	}
+}
+
+func TestExtractDuplicatesCollapse(t *testing.T) {
+	h := hgtest.Fig1Data()
+	sub, err := hypergraph.Extract(h, []hypergraph.EdgeID{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumEdges() != 1 {
+		t.Fatalf("duplicates not collapsed: %d edges", sub.NumEdges())
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	h := hgtest.Fig1Data()
+	if _, err := hypergraph.Extract(h, []hypergraph.EdgeID{99}); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+	empty, err := hypergraph.Extract(h, nil)
+	if err != nil || empty.NumEdges() != 0 || empty.NumVertices() != 0 {
+		t.Fatalf("empty extract: %v %v", empty, err)
+	}
+}
+
+func TestExtractEdgeLabels(t *testing.T) {
+	ed := hypergraph.NewDict()
+	b := hypergraph.NewBuilder().WithDicts(nil, ed)
+	for i := 0; i < 3; i++ {
+		b.AddVertex(0)
+	}
+	b.AddLabelledEdge(ed.Intern("r"), 0, 1)
+	b.AddLabelledEdge(ed.Intern("s"), 1, 2)
+	h := b.MustBuild()
+	sub := hypergraph.MustExtract(h, []hypergraph.EdgeID{1})
+	if !sub.EdgeLabelled() || sub.EdgeLabel(0) != h.EdgeLabel(1) {
+		t.Fatal("edge label lost in extraction")
+	}
+	if sub.EdgeDict() != h.EdgeDict() {
+		t.Fatal("edge dictionary not shared")
+	}
+}

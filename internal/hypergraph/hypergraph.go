@@ -1,0 +1,274 @@
+// Package hypergraph implements the labelled-hypergraph data model of
+// HGMatch (paper §III-A) and its storage substrate (paper §IV): hyperedge
+// tables partitioned by hyperedge signature, each with a lightweight
+// inverted hyperedge index mapping vertices to posting lists of incident
+// hyperedge IDs.
+//
+// A Hypergraph is immutable once built (HGMatch builds no auxiliary
+// structure at runtime; the indexed hypergraph is created once offline).
+package hypergraph
+
+import (
+	"fmt"
+
+	"hgmatch/internal/setops"
+)
+
+// VertexID identifies a vertex. IDs are dense, in [0, NumVertices).
+type VertexID = uint32
+
+// EdgeID identifies a hyperedge. IDs are dense, in [0, NumEdges).
+type EdgeID = uint32
+
+// Label identifies a vertex label. Labels are interned by a Dict.
+type Label = uint32
+
+// NoEdgeLabel marks a hyperedge without a label (the default; the paper
+// studies vertex-labelled hypergraphs, edge labels are the footnote-2
+// extension).
+const NoEdgeLabel Label = ^Label(0)
+
+// Hypergraph is an undirected, vertex-labelled simple hypergraph together
+// with its partitioned hyperedge tables and inverted hyperedge indexes.
+type Hypergraph struct {
+	labels []Label    // vertex -> label
+	edges  [][]uint32 // edge -> strictly increasing vertex IDs
+
+	edgeLabels []Label // optional per-edge labels; nil when unlabelled
+
+	incidence [][]uint32 // vertex -> sorted incident edge IDs (he(v))
+
+	partitions []*Partition
+	partBySig  map[string]int // signature key -> index into partitions
+	edgePart   []uint32       // edge -> index into partitions
+
+	dict     *Dict // vertex-label dictionary (may be nil for raw graphs)
+	edgeDict *Dict // edge-label dictionary (may be nil)
+
+	numLabels  int
+	totalArity int
+	maxArity   int
+}
+
+// NumVertices returns |V(H)|.
+func (h *Hypergraph) NumVertices() int { return len(h.labels) }
+
+// NumEdges returns |E(H)|.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// NumLabels returns |Σ|, the number of distinct vertex labels in use.
+func (h *Hypergraph) NumLabels() int { return h.numLabels }
+
+// Label returns the label of vertex v.
+func (h *Hypergraph) Label(v VertexID) Label { return h.labels[v] }
+
+// Labels returns the vertex->label table. Callers must not mutate it.
+func (h *Hypergraph) Labels() []Label { return h.labels }
+
+// Edge returns the sorted vertex set of hyperedge e. Callers must not
+// mutate it.
+func (h *Hypergraph) Edge(e EdgeID) []uint32 { return h.edges[e] }
+
+// Arity returns a(e), the number of vertices in hyperedge e.
+func (h *Hypergraph) Arity(e EdgeID) int { return len(h.edges[e]) }
+
+// MaxArity returns a_max over all hyperedges (0 for an edgeless graph).
+func (h *Hypergraph) MaxArity() int { return h.maxArity }
+
+// AvgArity returns a_H, the average hyperedge arity.
+func (h *Hypergraph) AvgArity() float64 {
+	if len(h.edges) == 0 {
+		return 0
+	}
+	return float64(h.totalArity) / float64(len(h.edges))
+}
+
+// TotalArity returns Σ_e a(e) — the total storage cells of all edge tables.
+func (h *Hypergraph) TotalArity() int { return h.totalArity }
+
+// Incident returns he(v): the sorted edge IDs of all hyperedges incident to
+// v. Callers must not mutate it.
+func (h *Hypergraph) Incident(v VertexID) []uint32 { return h.incidence[v] }
+
+// Degree returns d(v) = |he(v)|.
+func (h *Hypergraph) Degree(v VertexID) int { return len(h.incidence[v]) }
+
+// EdgeLabel returns the label of hyperedge e, or NoEdgeLabel when the
+// hypergraph is not edge-labelled.
+func (h *Hypergraph) EdgeLabel(e EdgeID) Label {
+	if h.edgeLabels == nil {
+		return NoEdgeLabel
+	}
+	return h.edgeLabels[e]
+}
+
+// EdgeLabelled reports whether the hypergraph carries hyperedge labels.
+func (h *Hypergraph) EdgeLabelled() bool { return h.edgeLabels != nil }
+
+// Dict returns the vertex-label dictionary, or nil if the graph was built
+// from numeric labels directly.
+func (h *Hypergraph) Dict() *Dict { return h.dict }
+
+// EdgeDict returns the edge-label dictionary, or nil.
+func (h *Hypergraph) EdgeDict() *Dict { return h.edgeDict }
+
+// NumPartitions returns the number of hyperedge tables (distinct signatures).
+func (h *Hypergraph) NumPartitions() int { return len(h.partitions) }
+
+// Partition returns the i-th hyperedge table.
+func (h *Hypergraph) Partition(i int) *Partition { return h.partitions[i] }
+
+// PartitionOf returns the hyperedge table holding edge e.
+func (h *Hypergraph) PartitionOf(e EdgeID) *Partition {
+	return h.partitions[h.edgePart[e]]
+}
+
+// PartitionFor returns the hyperedge table whose signature equals sig, or
+// nil when no data hyperedge has that signature. This implements the O(1)
+// cardinality fetch of Definition V.2: Card(e_q, H) is
+// PartitionFor(S(e_q)).Len().
+func (h *Hypergraph) PartitionFor(sig Signature) *Partition {
+	i, ok := h.partBySig[string(sig.Key())]
+	if !ok {
+		return nil
+	}
+	return h.partitions[i]
+}
+
+// Cardinality returns Card(sig, H) = number of data hyperedges with the
+// given signature (paper Definition V.2).
+func (h *Hypergraph) Cardinality(sig Signature) int {
+	p := h.PartitionFor(sig)
+	if p == nil {
+		return 0
+	}
+	return p.Len()
+}
+
+// SignatureOf returns S(e) for a hyperedge of this graph.
+func (h *Hypergraph) SignatureOf(e EdgeID) Signature {
+	return h.partitions[h.edgePart[e]].Sig
+}
+
+// AdjacentVertices returns adj(u): all vertices sharing at least one
+// hyperedge with u, excluding u itself, as a sorted set. It allocates; it is
+// intended for query graphs and offline filters, not the matching hot path.
+func (h *Hypergraph) AdjacentVertices(u VertexID) []uint32 {
+	var out []uint32
+	for _, e := range h.incidence[u] {
+		out = setops.Union(out[:0:0], out, h.edges[e])
+	}
+	// Remove u itself.
+	return setops.Difference(out[:0:0], out, []uint32{u})
+}
+
+// AdjacentEdges returns adj(e): all hyperedges sharing at least one vertex
+// with e, excluding e itself, as a sorted set.
+func (h *Hypergraph) AdjacentEdges(e EdgeID) []uint32 {
+	var out []uint32
+	for _, v := range h.edges[e] {
+		out = setops.Union(out[:0:0], out, h.incidence[v])
+	}
+	return setops.Difference(out[:0:0], out, []uint32{e})
+}
+
+// EdgesAdjacent reports whether hyperedges e1 and e2 share a vertex.
+func (h *Hypergraph) EdgesAdjacent(e1, e2 EdgeID) bool {
+	return setops.ContainsAny(h.edges[e1], h.edges[e2])
+}
+
+// ArityHistogram returns, for vertex v, a map arity -> |he_a(v)| (the number
+// of incident hyperedges of each arity). Used by the IHS filter's arity
+// containment rule.
+func (h *Hypergraph) ArityHistogram(v VertexID) map[int]int {
+	m := make(map[int]int, 4)
+	for _, e := range h.incidence[v] {
+		m[len(h.edges[e])]++
+	}
+	return m
+}
+
+// FindEdge returns the ID of the hyperedge with exactly the given sorted
+// vertex set, if present. Used by the match-by-vertex baseline to check the
+// Theorem III.2 constraint.
+func (h *Hypergraph) FindEdge(vertices []uint32) (EdgeID, bool) {
+	if len(vertices) == 0 {
+		return 0, false
+	}
+	// Every member's incidence list contains the edge; intersect starting
+	// from the rarest vertex.
+	best := vertices[0]
+	for _, v := range vertices[1:] {
+		if len(h.incidence[v]) < len(h.incidence[best]) {
+			best = v
+		}
+	}
+	for _, e := range h.incidence[best] {
+		if setops.Equal(h.edges[e], vertices) {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// String returns a short human-readable summary.
+func (h *Hypergraph) String() string {
+	return fmt.Sprintf("Hypergraph{V=%d E=%d Σ=%d amax=%d a=%.1f partitions=%d}",
+		h.NumVertices(), h.NumEdges(), h.NumLabels(), h.maxArity, h.AvgArity(), len(h.partitions))
+}
+
+// Validate checks structural invariants; it is meant for tests and loaders,
+// not hot paths. It returns the first violation found.
+func (h *Hypergraph) Validate() error {
+	seen := make(map[string]EdgeID, len(h.edges))
+	for e, vs := range h.edges {
+		if len(vs) == 0 {
+			return fmt.Errorf("edge %d is empty", e)
+		}
+		if !setops.IsSorted(vs) {
+			return fmt.Errorf("edge %d vertex set not strictly sorted: %v", e, vs)
+		}
+		for _, v := range vs {
+			if int(v) >= len(h.labels) {
+				return fmt.Errorf("edge %d refers to unknown vertex %d", e, v)
+			}
+			if !setops.Contains(h.incidence[v], EdgeID(e)) {
+				return fmt.Errorf("incidence list of vertex %d misses edge %d", v, e)
+			}
+		}
+		key := keyWithEdgeLabel(h.EdgeLabel(EdgeID(e)), Signature(vs))
+		if dup, ok := seen[key]; ok {
+			return fmt.Errorf("edges %d and %d are duplicates", dup, e)
+		}
+		seen[key] = EdgeID(e)
+	}
+	for v, es := range h.incidence {
+		if !setops.IsSorted(es) {
+			return fmt.Errorf("incidence list of vertex %d not sorted", v)
+		}
+		for _, e := range es {
+			if !setops.Contains(h.edges[e], VertexID(v)) {
+				return fmt.Errorf("vertex %d lists edge %d but edge lacks it", v, e)
+			}
+		}
+	}
+	total := 0
+	for pi, p := range h.partitions {
+		total += p.Len()
+		for _, e := range p.Edges {
+			if int(h.edgePart[e]) != pi {
+				return fmt.Errorf("edge %d partition cross-link broken", e)
+			}
+			if !h.SignatureOf(e).Equal(SignatureOf(h.edges[e], h.labels)) {
+				return fmt.Errorf("edge %d signature mismatch", e)
+			}
+		}
+		if err := p.validate(h); err != nil {
+			return fmt.Errorf("partition %d: %w", pi, err)
+		}
+	}
+	if total != len(h.edges) {
+		return fmt.Errorf("partitions cover %d edges, graph has %d", total, len(h.edges))
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package hypergraph
+
+import (
+	"fmt"
+
+	"hgmatch/internal/setops"
+)
+
+// Partition is one hyperedge table (paper §IV-B, Table I): all data
+// hyperedges sharing one hyperedge signature, plus the table's inverted
+// hyperedge index (paper §IV-C) mapping each member vertex to the sorted
+// posting list of its incident hyperedges *within this table*.
+//
+// Candidate generation touches only the partition whose signature equals
+// the query hyperedge's signature; he(v, s) lookups are a single map access
+// returning a ready-sorted posting list, so Algorithm 4 reduces to unions
+// and intersections of posting lists.
+type Partition struct {
+	// Sig is the signature shared by every edge in this table.
+	Sig Signature
+	// EdgeLabel is the shared hyperedge label (NoEdgeLabel when the graph
+	// is vertex-labelled only).
+	EdgeLabel Label
+	// Edges lists the global hyperedge IDs in this table, sorted ascending.
+	Edges []EdgeID
+
+	// postings maps vertex -> sorted global edge IDs incident to the vertex
+	// within this table. This is the inverted hyperedge index I of Table I.
+	postings map[VertexID][]EdgeID
+}
+
+// Len returns the table cardinality |{e ∈ E(H) : S(e) = Sig}|. This is the
+// O(1) Card() fetch used by the matching-order planner (Definition V.2).
+func (p *Partition) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Edges)
+}
+
+// Postings returns he(v, Sig): the sorted posting list of hyperedges in
+// this table incident to v. The returned slice is shared; callers must not
+// mutate it. A vertex not occurring in the table yields nil.
+func (p *Partition) Postings(v VertexID) []EdgeID {
+	if p == nil {
+		return nil
+	}
+	return p.postings[v]
+}
+
+// NumPostingVertices returns how many distinct vertices appear in the table.
+func (p *Partition) NumPostingVertices() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.postings)
+}
+
+// IndexBytes returns the memory footprint of the inverted hyperedge index:
+// each hyperedge contributes O(a(e)) posting entries (paper §IV-C size
+// analysis), 4 bytes each, plus per-vertex map overhead approximated by one
+// header (key + slice header) per posting list.
+func (p *Partition) IndexBytes() int {
+	const postingEntry = 4           // one uint32 edge ID
+	const perVertexOverhead = 4 + 24 // key + slice header
+	total := 0
+	for _, l := range p.postings {
+		total += perVertexOverhead + postingEntry*len(l)
+	}
+	return total
+}
+
+// TableBytes returns the memory footprint of the hyperedge table itself:
+// the signature header plus the vertex cells of every member edge (the
+// paper's O(a_H × |E(H)|) analysis, §IV-B).
+func (p *Partition) TableBytes(h *Hypergraph) int {
+	total := 4 * len(p.Sig) // signature header
+	for _, e := range p.Edges {
+		total += 24 + 4*h.Arity(e) // slice header + vertex cells
+	}
+	return total
+}
+
+// validate checks partition-internal invariants against the parent graph.
+func (p *Partition) validate(h *Hypergraph) error {
+	if !setops.IsSorted(p.Edges) {
+		return fmt.Errorf("edge list not sorted")
+	}
+	for v, l := range p.postings {
+		if !setops.IsSorted(l) {
+			return fmt.Errorf("posting list of vertex %d not sorted", v)
+		}
+		for _, e := range l {
+			if !setops.Contains(h.edges[e], v) {
+				return fmt.Errorf("posting list of vertex %d lists edge %d not containing it", v, e)
+			}
+			if !setops.Contains(p.Edges, e) {
+				return fmt.Errorf("posting list of vertex %d lists foreign edge %d", v, e)
+			}
+		}
+	}
+	// Every member edge must appear in the posting list of each member
+	// vertex.
+	for _, e := range p.Edges {
+		for _, v := range h.edges[e] {
+			if !setops.Contains(p.postings[v], e) {
+				return fmt.Errorf("edge %d missing from posting list of vertex %d", e, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package hypergraph
+
+// Stats summarises a hypergraph with the columns of the paper's Table II:
+// |V|, |E|, |Σ|, a_max, average arity a, and the size of the inverted
+// hyperedge index.
+type Stats struct {
+	NumVertices int     // |V|
+	NumEdges    int     // |E|
+	NumLabels   int     // |Σ|
+	MaxArity    int     // a_max
+	AvgArity    float64 // a
+	IndexBytes  int     // |Index|: total inverted-index footprint
+	GraphBytes  int     // hyperedge-table footprint (edge cells + signature headers)
+	Partitions  int     // number of hyperedge tables (not in Table II; diagnostic)
+}
+
+// ComputeStats gathers Table II-style statistics for h.
+func ComputeStats(h *Hypergraph) Stats {
+	s := Stats{
+		NumVertices: h.NumVertices(),
+		NumEdges:    h.NumEdges(),
+		NumLabels:   h.NumLabels(),
+		MaxArity:    h.MaxArity(),
+		AvgArity:    h.AvgArity(),
+		Partitions:  h.NumPartitions(),
+	}
+	for i := 0; i < h.NumPartitions(); i++ {
+		p := h.Partition(i)
+		s.IndexBytes += p.IndexBytes()
+		s.GraphBytes += p.TableBytes(h)
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+// Package querygen samples query hypergraphs from data hypergraphs by
+// hyperedge random walks, reproducing the paper's query workload (§VII-A):
+// "we perform a random walk in the data hypergraph to generate
+// subhypergraphs with the given number of hyperedges whose number of
+// vertices is in the range [|V|min, |V|max]". Because queries are sampled
+// subhypergraphs, every query has at least one embedding in its data
+// hypergraph.
+package querygen
+
+import (
+	"math/rand"
+
+	"hgmatch/internal/hypergraph"
+)
+
+// Setting is one row of the paper's Table III.
+type Setting struct {
+	Name        string
+	NumEdges    int // |E|
+	MinVertices int // |V|min
+	MaxVertices int // |V|max
+}
+
+// Settings returns the paper's four query settings (Table III).
+func Settings() []Setting {
+	return []Setting{
+		{Name: "q2", NumEdges: 2, MinVertices: 5, MaxVertices: 15},
+		{Name: "q3", NumEdges: 3, MinVertices: 10, MaxVertices: 20},
+		{Name: "q4", NumEdges: 4, MinVertices: 10, MaxVertices: 30},
+		{Name: "q6", NumEdges: 6, MinVertices: 15, MaxVertices: 35},
+	}
+}
+
+// SettingByName returns the named setting, or false.
+func SettingByName(name string) (Setting, bool) {
+	for _, s := range Settings() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Setting{}, false
+}
+
+// maxAttempts bounds the rejection sampling per query.
+const maxAttempts = 400
+
+// Sample draws one connected query with exactly s.NumEdges hyperedges and
+// a vertex count within [MinVertices, MaxVertices]. When the data
+// hypergraph cannot satisfy the vertex range (e.g. low-arity graphs for
+// large settings), the range constraint is progressively relaxed so
+// experiments always get a query of the right edge count; it returns nil
+// only if no connected s.NumEdges-edge subhypergraph can be found at all.
+func Sample(rng *rand.Rand, h *hypergraph.Hypergraph, s Setting) *hypergraph.Hypergraph {
+	if h.NumEdges() == 0 || s.NumEdges < 1 {
+		return nil
+	}
+	var fallback []hypergraph.EdgeID
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		edges := walk(rng, h, s.NumEdges)
+		if edges == nil {
+			continue
+		}
+		nv := countVertices(h, edges)
+		if nv >= s.MinVertices && nv <= s.MaxVertices {
+			return extract(h, edges)
+		}
+		if fallback == nil {
+			fallback = edges
+		}
+	}
+	if fallback == nil {
+		return nil
+	}
+	return extract(h, fallback)
+}
+
+// SampleMany draws count queries (some may be nil if the graph is too
+// small or disconnected for the setting).
+func SampleMany(rng *rand.Rand, h *hypergraph.Hypergraph, s Setting, count int) []*hypergraph.Hypergraph {
+	out := make([]*hypergraph.Hypergraph, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, Sample(rng, h, s))
+	}
+	return out
+}
+
+// walk collects n distinct, connected hyperedges by randomly walking
+// across adjacent hyperedges.
+func walk(rng *rand.Rand, h *hypergraph.Hypergraph, n int) []hypergraph.EdgeID {
+	start := hypergraph.EdgeID(rng.Intn(h.NumEdges()))
+	chosen := make(map[hypergraph.EdgeID]bool, n)
+	chosen[start] = true
+	order := []hypergraph.EdgeID{start}
+	cur := start
+	stuck := 0
+	for len(order) < n && stuck < 4*n+16 {
+		// Step to a random adjacent hyperedge of the current one via a
+		// random shared vertex.
+		vs := h.Edge(cur)
+		v := vs[rng.Intn(len(vs))]
+		inc := h.Incident(v)
+		next := inc[rng.Intn(len(inc))]
+		if next == cur {
+			stuck++
+			continue
+		}
+		if !chosen[next] {
+			chosen[next] = true
+			order = append(order, next)
+			stuck = 0
+		} else {
+			stuck++
+		}
+		cur = next
+		// Occasionally jump back to a random already-chosen edge so the
+		// walk can branch instead of only chaining.
+		if rng.Intn(3) == 0 {
+			cur = order[rng.Intn(len(order))]
+		}
+	}
+	if len(order) < n {
+		return nil
+	}
+	return order
+}
+
+func countVertices(h *hypergraph.Hypergraph, edges []hypergraph.EdgeID) int {
+	seen := make(map[uint32]bool)
+	for _, e := range edges {
+		for _, v := range h.Edge(e) {
+			seen[v] = true
+		}
+	}
+	return len(seen)
+}
+
+// extract materialises the standalone query hypergraph induced by the
+// chosen data hyperedges (hypergraph.Extract carries labels, hyperedge
+// labels and dictionaries over, so serialised queries stay name-aligned
+// with their dataset).
+func extract(h *hypergraph.Hypergraph, edges []hypergraph.EdgeID) *hypergraph.Hypergraph {
+	return hypergraph.MustExtract(h, edges)
+}

@@ -1,0 +1,62 @@
+package hgmatch_test
+
+import (
+	"testing"
+
+	"hgmatch"
+)
+
+// TestVertexMappingsFacade exercises the public vertex-mapping API the way
+// an application would: match, then name the query variables.
+func TestVertexMappingsFacade(t *testing.T) {
+	q, h := fig1(t)
+	p, err := hgmatch.Compile(q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tuples [][]hgmatch.EdgeID
+	p.Run(hgmatch.WithCallback(func(m []hgmatch.EdgeID) {
+		tuples = append(tuples, append([]hgmatch.EdgeID(nil), m...))
+	}))
+	if len(tuples) != 2 {
+		t.Fatalf("%d tuples", len(tuples))
+	}
+	for _, m := range tuples {
+		all := hgmatch.VertexMappings(q, h, p.Order(), m, 0)
+		if len(all) != 1 {
+			t.Fatalf("tuple %v: %d mappings, want 1", m, len(all))
+		}
+		one := hgmatch.OneVertexMapping(q, h, p.Order(), m)
+		if one == nil {
+			t.Fatal("OneVertexMapping nil")
+		}
+		// f must preserve labels and injectivity.
+		seen := map[hgmatch.VertexID]bool{}
+		for u := 0; u < q.NumVertices(); u++ {
+			v := one[u]
+			if h.Label(v) != q.Label(uint32(u)) {
+				t.Errorf("label broken at u%d", u)
+			}
+			if seen[v] {
+				t.Errorf("mapping not injective at u%d", u)
+			}
+			seen[v] = true
+		}
+	}
+	// Invalid tuple rejected.
+	if hgmatch.OneVertexMapping(q, h, p.Order(), []hgmatch.EdgeID{0, 2, 5}) != nil {
+		t.Error("invalid tuple accepted")
+	}
+}
+
+// TestWorkerOverprovisioning: more workers than work (or than cores) must
+// neither deadlock nor change results.
+func TestWorkerOverprovisioning(t *testing.T) {
+	q, h := fig1(t)
+	for _, w := range []int{16, 64} {
+		res, err := hgmatch.Match(q, h, hgmatch.WithWorkers(w))
+		if err != nil || res.Embeddings != 2 {
+			t.Fatalf("workers=%d: %d embeddings, err %v", w, res.Embeddings, err)
+		}
+	}
+}
