@@ -1,0 +1,96 @@
+// Command hgserve exposes HGMatch as a concurrent HTTP match service: it
+// loads one or more named data hypergraphs at startup and serves matching
+// queries over JSON/NDJSON, caching compiled plans so repeated queries skip
+// compilation (see internal/server for the endpoint contract).
+//
+// Usage:
+//
+//	hgserve -addr :8080 [-plan-cache 256] [-workers 0] [-timeout 1m]
+//	        name=path.hg [name2=path2.hg ...]
+//
+// Each positional argument registers one data hypergraph (text or binary
+// .hg, sniffed) under the given name. Example session:
+//
+//	hgserve fig1=testdata/fig1.hg &
+//	curl -s localhost:8080/graphs
+//	curl -s -d '{"graph":"fig1","query":"v A\nv C\ne 0 1"}' localhost:8080/count
+//	curl -sN -d '{"graph":"fig1","query":"v A\nv C\ne 0 1"}' localhost:8080/match
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hgmatch/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("plan-cache", 256, "plan cache capacity in plans (0 disables)")
+		workers   = flag.Int("workers", 0, "default engine workers per request (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", time.Minute, "default per-request engine timeout")
+		maxTime   = flag.Duration("max-timeout", 10*time.Minute, "upper bound on client-requested timeouts")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "hgserve: at least one name=path.hg graph argument is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := server.NewRegistry()
+	for _, arg := range flag.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok || name == "" || path == "" {
+			log.Fatalf("hgserve: bad graph argument %q (want name=path.hg)", arg)
+		}
+		start := time.Now()
+		if err := reg.LoadFile(name, path); err != nil {
+			log.Fatalf("hgserve: %v", err)
+		}
+		h, _ := reg.Get(name)
+		log.Printf("loaded %q: %v (%s)", name, h, time.Since(start).Round(time.Millisecond))
+	}
+
+	// The operator's "0" means off; Config reserves 0 for its default.
+	if *cacheSize <= 0 {
+		*cacheSize = -1
+	}
+	srv := server.New(reg, server.Config{
+		PlanCacheSize:  *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTime,
+		DefaultWorkers: *workers,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests; engine
+	// runs follow their request contexts down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("hgserve listening on %s (%d graphs)", *addr, reg.Len())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("hgserve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hgserve: shutdown: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module hgmatch
+
+go 1.24

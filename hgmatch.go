@@ -284,5 +284,30 @@ func OneVertexMapping(query, data *Hypergraph, order, m []EdgeID) VertexMapping 
 	return core.OneVertexMapping(query, data, order, m)
 }
 
+// QueryKey returns a deterministic cache key for a query hypergraph: two
+// queries built from the same vertex sequence and hyperedge set (in any
+// edge order) share a key. It is what a plan cache should key on — see
+// cmd/hgserve, which caches Compile output per (data graph, QueryKey). The
+// key is form-canonical, not isomorphism-canonical; when the query and
+// data were loaded from separate files, align the query's label IDs to the
+// data's dictionary first (as Match itself requires) so equal-looking
+// queries key equally.
+func QueryKey(query *Hypergraph) string { return hypergraph.CanonicalKey(query) }
+
+// AlignLabels rebuilds query so its numeric label IDs agree with data's,
+// resolving labels by dictionary name. Required whenever query and data
+// were loaded from separate files, since each file interns label names in
+// its own first-appearance order. Graphs built programmatically with
+// shared numeric labels need no alignment; AlignLabels returns ErrNoDicts
+// if either graph lacks a dictionary.
+func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
+	return hgio.AlignLabels(query, data)
+}
+
+// ErrNoDicts is returned by AlignLabels when either graph lacks a label
+// dictionary, so names cannot mediate between the two ID spaces. Callers
+// matching dictionary-less graphs compare raw numeric labels instead.
+var ErrNoDicts = hgio.ErrNoDicts
+
 // Version identifies this reproduction release.
-const Version = "1.0.0"
+const Version = "1.1.0"

@@ -1,0 +1,126 @@
+package hgio
+
+import (
+	"fmt"
+	"strings"
+
+	"hgmatch/internal/hypergraph"
+)
+
+// This file defines the HTTP wire format of the hgserve match service
+// (internal/server, cmd/hgserve). Query hypergraphs travel inside JSON
+// request bodies as strings in the same line-oriented text format this
+// package already reads from files, so every existing .hg file can be
+// pasted into a request verbatim.
+
+// MatchRequest is the JSON body of POST /match and POST /count.
+type MatchRequest struct {
+	// Graph names the data hypergraph to match against (one of the graphs
+	// the server loaded at startup; see GET /graphs).
+	Graph string `json:"graph"`
+	// Query is the query hypergraph in hgio text format ("v <label>" /
+	// "e <v1> <v2> ..." lines, '#' comments). Its label names are aligned
+	// to the data graph's dictionary by name before matching; against a
+	// dictionary-less data graph (built programmatically, or loaded from
+	// a dict-less binary file) labels instead compare by raw numeric ID,
+	// with the query's labels interned in first-appearance order.
+	Query string `json:"query"`
+	// Workers sets the engine thread-pool size (0 = server default).
+	Workers int `json:"workers,omitempty"`
+	// Limit stops the run after this many embeddings (0 = all).
+	Limit uint64 `json:"limit,omitempty"`
+	// TimeoutMs aborts the run after this many milliseconds (0 = server
+	// default). Aborted runs report timed_out with lower-bound counts.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate checks the request fields that must be present.
+func (r *MatchRequest) Validate() error {
+	if r.Graph == "" {
+		return fmt.Errorf("hgio: match request: missing \"graph\"")
+	}
+	if strings.TrimSpace(r.Query) == "" {
+		return fmt.Errorf("hgio: match request: missing \"query\"")
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("hgio: match request: negative \"workers\"")
+	}
+	if r.TimeoutMs < 0 {
+		return fmt.Errorf("hgio: match request: negative \"timeout_ms\"")
+	}
+	return nil
+}
+
+// ParseQuery parses the request's query text into a hypergraph.
+func (r *MatchRequest) ParseQuery() (*hypergraph.Hypergraph, error) {
+	return Read(strings.NewReader(r.Query))
+}
+
+// EmbeddingRecord is one NDJSON line of a streaming POST /match response:
+// the data hyperedge ID matched to each query hyperedge, aligned with the
+// plan's matching order (the "order" field of the closing MatchSummary).
+type EmbeddingRecord struct {
+	Embedding []uint32 `json:"embedding"`
+}
+
+// MatchSummary is the final NDJSON line of POST /match and the whole body
+// of POST /count. Done distinguishes it from EmbeddingRecords on the same
+// stream.
+type MatchSummary struct {
+	Done       bool     `json:"done"`
+	Embeddings uint64   `json:"embeddings"`
+	Candidates uint64   `json:"candidates"`
+	Filtered   uint64   `json:"filtered"`
+	Valid      uint64   `json:"valid"`
+	ElapsedUs  int64    `json:"elapsed_us"`
+	TimedOut   bool     `json:"timed_out,omitempty"`
+	PlanCached bool     `json:"plan_cached"`
+	Order      []uint32 `json:"order,omitempty"`
+}
+
+// GraphInfo describes one loaded data hypergraph (GET /graphs and
+// GET /graphs/{name}/stats). The stat fields are the paper's Table II
+// columns as computed by hypergraph.ComputeStats.
+type GraphInfo struct {
+	Name        string  `json:"name"`
+	NumVertices int     `json:"num_vertices"`
+	NumEdges    int     `json:"num_edges"`
+	NumLabels   int     `json:"num_labels"`
+	MaxArity    int     `json:"max_arity"`
+	AvgArity    float64 `json:"avg_arity"`
+	Partitions  int     `json:"partitions"`
+	IndexBytes  int     `json:"index_bytes"`
+	GraphBytes  int     `json:"graph_bytes"`
+}
+
+// GraphInfoFor assembles a GraphInfo from a graph and its registry name.
+func GraphInfoFor(name string, h *hypergraph.Hypergraph) GraphInfo {
+	s := hypergraph.ComputeStats(h)
+	return GraphInfo{
+		Name:        name,
+		NumVertices: s.NumVertices,
+		NumEdges:    s.NumEdges,
+		NumLabels:   s.NumLabels,
+		MaxArity:    s.MaxArity,
+		AvgArity:    s.AvgArity,
+		Partitions:  s.Partitions,
+		IndexBytes:  s.IndexBytes,
+		GraphBytes:  s.GraphBytes,
+	}
+}
+
+// ErrorResponse is the JSON body of every non-2xx hgserve response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	Graphs  int    `json:"graphs"`
+	// PlanCache reports cache effectiveness since startup.
+	PlanCacheSize   int    `json:"plan_cache_size"`
+	PlanCacheHits   uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses uint64 `json:"plan_cache_misses"`
+}

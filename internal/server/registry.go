@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hgmatch"
+	"hgmatch/internal/hgio"
+)
+
+// Registry holds the named data hypergraphs a server instance matches
+// against. Graphs are immutable once built, so reads take no lock on the
+// graph itself; the registry map is guarded for the (rare) case of graphs
+// being added while the server is live.
+type Registry struct {
+	mu        sync.RWMutex
+	graphs    map[string]graphEntry
+	onReplace func(name string)
+}
+
+// graphEntry pairs a graph with a replacement counter and its precomputed
+// statistics. The version flows into plan-cache keys so that replacing a
+// graph under a live name can never serve plans compiled against its
+// predecessor; the stats are computed once because graphs are immutable
+// and ComputeStats walks every edge.
+type graphEntry struct {
+	h       *hgmatch.Hypergraph
+	version uint64
+	info    hgio.GraphInfo
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]graphEntry)}
+}
+
+// Add registers a graph under name, replacing any previous graph of that
+// name (the replacement gets a new version, invalidating cached plans and
+// firing the replacement hook).
+func (r *Registry) Add(name string, h *hgmatch.Hypergraph) {
+	info := hgio.GraphInfoFor(name, h)
+	r.mu.Lock()
+	prev := r.graphs[name].version
+	r.graphs[name] = graphEntry{h: h, version: prev + 1, info: info}
+	hook := r.onReplace
+	r.mu.Unlock()
+	if prev > 0 && hook != nil {
+		hook(name)
+	}
+}
+
+// setOnReplace installs a hook fired (outside the registry lock) whenever
+// an existing graph is replaced; the server uses it to purge the replaced
+// graph's plans so the old hypergraph becomes collectable.
+func (r *Registry) setOnReplace(fn func(name string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onReplace = fn
+}
+
+// LoadFile reads a hypergraph from path (text or binary .hg, sniffed) and
+// registers it under name.
+func (r *Registry) LoadFile(name, path string) error {
+	h, err := hgio.ReadAutoFile(path)
+	if err != nil {
+		return fmt.Errorf("server: loading graph %q from %s: %w", name, path, err)
+	}
+	r.Add(name, h)
+	return nil
+}
+
+// Get returns the graph registered under name.
+func (r *Registry) Get(name string) (*hgmatch.Hypergraph, bool) {
+	h, _, ok := r.GetVersioned(name)
+	return h, ok
+}
+
+// GetVersioned returns the graph registered under name together with its
+// replacement version (1 for the first registration).
+func (r *Registry) GetVersioned(name string) (*hgmatch.Hypergraph, uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	return e.h, e.version, ok
+}
+
+// Info returns the precomputed Table II statistics for the named graph.
+func (r *Registry) Info(name string) (hgio.GraphInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	return e.info, ok
+}
+
+// Names returns the registered graph names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.graphs))
+	for name := range r.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.graphs)
+}

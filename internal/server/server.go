@@ -1,0 +1,364 @@
+// Package server implements the hgserve HTTP match service: named data
+// hypergraphs loaded once at startup (Registry), JSON/NDJSON endpoints over
+// the public hgmatch API, and an LRU cache of compiled plans (PlanCache) so
+// repeated queries skip Compile and go straight to the parallel engine.
+//
+// Endpoints:
+//
+//	POST /match                NDJSON stream: one EmbeddingRecord line per
+//	                           embedding, then a closing MatchSummary line
+//	POST /count                JSON MatchSummary (counts only, no stream)
+//	GET  /graphs               JSON list of loaded graphs with Table II stats
+//	GET  /graphs/{name}/stats  JSON stats for one graph
+//	GET  /healthz              liveness + plan-cache hit/miss counters
+//
+// Request/response types live in internal/hgio (wire.go); queries travel
+// as strings in the same text format the CLIs read from .hg files.
+//
+// The hot path is built for concurrency: plans are immutable and shared
+// across requests, embeddings stream through hgmatch.WithCallback so large
+// result sets never materialise server-side, and every run is wired to the
+// request context through hgmatch.WithContext so a client disconnect stops
+// enumeration mid-run.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"hgmatch"
+	"hgmatch/internal/hgio"
+)
+
+// flushEvery bounds how many NDJSON embedding lines are buffered before the
+// response is flushed to the client; small enough for interactive streaming,
+// large enough to amortise flush syscalls on huge result sets.
+const flushEvery = 64
+
+// Config tunes a Server. The zero value is usable: defaults are filled in
+// by New.
+type Config struct {
+	// PlanCacheSize bounds the LRU plan cache. Zero means the default of
+	// 256 (so the zero Config is usable); pass a NEGATIVE value to
+	// disable caching — unlike NewPlanCache, 0 here does not disable.
+	PlanCacheSize int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 1 minute; engine runs must not outlive client interest).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request timeouts (default 10 minutes).
+	MaxTimeout time.Duration
+	// DefaultWorkers applies when a request carries no workers field
+	// (0 = GOMAXPROCS, the engine default).
+	DefaultWorkers int
+	// MaxWorkers clamps client-requested workers (default GOMAXPROCS);
+	// without it one request could demand millions of worker goroutines.
+	MaxWorkers int
+	// MaxBodyBytes bounds request bodies (default 16 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = time.Minute
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxWorkers == 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Server is the hgserve HTTP service: a graph registry, a plan cache and
+// the handler set. Create with New, mount with Handler.
+type Server struct {
+	cfg    Config
+	graphs *Registry
+	plans  *PlanCache
+}
+
+// New returns a Server over the given registry.
+func New(graphs *Registry, cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{cfg: cfg, graphs: graphs, plans: NewPlanCache(cfg.PlanCacheSize)}
+	// Replacing a graph purges its cached plans; the version in the cache
+	// key already prevents stale serving, the purge frees the old graph.
+	graphs.setOnReplace(func(name string) { s.plans.DropPrefix(GraphPrefix(name)) })
+	return s
+}
+
+// Graphs returns the server's graph registry.
+func (s *Server) Graphs() *Registry { return s.graphs }
+
+// Plans returns the server's plan cache (benchmarks and health checks poke
+// at it; handlers go through plan()).
+func (s *Server) Plans() *PlanCache { return s.plans }
+
+// Handler returns the service's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /match", s.handleMatch)
+	mux.HandleFunc("POST /count", s.handleCount)
+	mux.HandleFunc("GET /graphs", s.handleGraphs)
+	mux.HandleFunc("GET /graphs/{name}/stats", s.handleGraphStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeError sends a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(hgio.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeRequest parses and validates a match/count request body.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*hgio.MatchRequest, bool) {
+	var req hgio.MatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad request body: %v", err)
+		return nil, false
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	return &req, true
+}
+
+// plan resolves a request to a compiled plan, consulting the cache. The
+// query's label IDs are aligned to the data graph's dictionary before
+// keying, so the same query text always maps to the same cache entry
+// regardless of label interning order.
+func (s *Server) plan(req *hgio.MatchRequest) (*hgmatch.Plan, bool, error) {
+	data, version, ok := s.graphs.GetVersioned(req.Graph)
+	if !ok {
+		return nil, false, errGraphNotFound
+	}
+	query, err := req.ParseQuery()
+	if err != nil {
+		return nil, false, badRequestError{err}
+	}
+	switch aligned, err := hgmatch.AlignLabels(query, data); {
+	case err == nil:
+		query = aligned
+	case errors.Is(err, hgio.ErrNoDicts) && data.Dict() == nil:
+		// Dictionary-less data graph (built programmatically or loaded
+		// from a dict-less binary file): labels compare by raw numeric ID,
+		// and the text query's labels intern in first-appearance order.
+		// This is the documented contract for such graphs; fall through.
+	default:
+		return nil, false, badRequestError{err}
+	}
+	key := Key(req.Graph, version, hgmatch.QueryKey(query))
+	p, cached, err := s.plans.GetOrCompute(key, func() (*hgmatch.Plan, error) {
+		p, err := hgmatch.Compile(query, data)
+		if err != nil {
+			// Typed here so panic-derived errors from GetOrCompute stay
+			// server errors (500) while compile rejections stay 400s.
+			return nil, badRequestError{err}
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return p, cached, nil
+}
+
+var errGraphNotFound = errors.New("server: graph not found")
+
+// badRequestError marks client errors (unparseable or uncompilable query)
+// apart from server-side failures.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+// writePlanError maps plan() failures to HTTP statuses.
+func writePlanError(w http.ResponseWriter, req *hgio.MatchRequest, err error) {
+	var bad badRequestError
+	switch {
+	case errors.Is(err, errGraphNotFound):
+		writeError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, "%v", bad.err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// options maps request fields onto engine options, always wiring in the
+// request context so client disconnects cancel the run.
+func (s *Server) options(r *http.Request, req *hgio.MatchRequest) []hgmatch.Option {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		// Clamp in milliseconds BEFORE converting: a huge timeout_ms would
+		// overflow time.Duration into a negative value, which the engine
+		// treats as "no deadline" — exactly the unbounded run MaxTimeout
+		// exists to prevent.
+		if req.TimeoutMs >= s.cfg.MaxTimeout.Milliseconds() {
+			timeout = s.cfg.MaxTimeout
+		} else {
+			timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		}
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	workers := s.cfg.DefaultWorkers
+	if req.Workers > 0 {
+		workers = req.Workers
+	}
+	if workers <= 0 {
+		// Resolve the engine's "0 = GOMAXPROCS" default here so the
+		// MaxWorkers clamp below also binds requests that omit the field.
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.cfg.MaxWorkers {
+		workers = s.cfg.MaxWorkers
+	}
+	return []hgmatch.Option{
+		hgmatch.WithContext(r.Context()),
+		hgmatch.WithTimeout(timeout),
+		hgmatch.WithWorkers(workers),
+		hgmatch.WithLimit(req.Limit),
+	}
+}
+
+func summarise(res hgmatch.Result, plan *hgmatch.Plan, cached bool) hgio.MatchSummary {
+	return hgio.MatchSummary{
+		Done:       true,
+		Embeddings: res.Embeddings,
+		Candidates: res.Candidates,
+		Filtered:   res.Filtered,
+		Valid:      res.Valid,
+		ElapsedUs:  res.Elapsed.Microseconds(),
+		TimedOut:   res.TimedOut,
+		PlanCached: cached,
+		Order:      plan.Order(),
+	}
+}
+
+// handleMatch streams every embedding as one NDJSON line, closing with a
+// MatchSummary line. Results never materialise server-side: the engine's
+// serialised callback hands each tuple straight to the response writer.
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	plan, cached, err := s.plan(req)
+	if err != nil {
+		writePlanError(w, req, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	pending := 0
+	flush := func() {
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+		pending = 0
+	}
+	opts := append(s.options(r, req), hgmatch.WithCallback(func(m []hgmatch.EdgeID) {
+		// The engine reuses the tuple between calls; encode immediately
+		// rather than copy-and-retain. Write errors (client gone) are
+		// deliberately ignored: the request context is already cancelled
+		// and WithContext stops the run at task granularity.
+		enc.Encode(hgio.EmbeddingRecord{Embedding: m})
+		if pending++; pending >= flushEvery {
+			flush()
+		}
+	}))
+
+	res := plan.Run(opts...)
+	enc.Encode(summarise(res, plan, cached))
+	flush()
+}
+
+// handleCount runs the same pipeline as /match with the sink counting
+// instead of streaming; the body is a single MatchSummary.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	plan, cached, err := s.plan(req)
+	if err != nil {
+		writePlanError(w, req, err)
+		return
+	}
+	res := plan.Run(s.options(r, req)...)
+	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
+	writeJSON(w, summarise(res, plan, cached))
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	infos := make([]hgio.GraphInfo, 0, s.graphs.Len())
+	for _, name := range s.graphs.Names() {
+		if info, ok := s.graphs.Info(name); ok {
+			infos = append(infos, info)
+		}
+	}
+	writeJSON(w, infos)
+}
+
+func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, ok := s.graphs.Info(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	size, hits, misses := s.plans.Stats()
+	writeJSON(w, hgio.HealthResponse{
+		Status:          "ok",
+		Version:         hgmatch.Version,
+		Graphs:          s.graphs.Len(),
+		PlanCacheSize:   size,
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+	})
+}
