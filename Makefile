@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine/ ./internal/server/ .
+
+# bench runs the engine kernel benchmarks (-benchmem -count=3) and rewrites
+# BENCH_engine.json so future PRs have a perf trajectory to compare against.
+bench:
+	./scripts/bench.sh
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -98,7 +98,7 @@ func main() {
 	fmt.Printf("embeddings: %d\n", res.Embeddings)
 	fmt.Printf("elapsed:    %s\n", stats.FormatDuration(res.Elapsed))
 	fmt.Printf("candidates: %d  filtered: %d  valid: %d\n", res.Candidates, res.Filtered, res.Valid)
-	fmt.Printf("peak tasks: %d (%s)\n", res.PeakTasks, stats.FormatBytes(res.PeakTaskBytes))
+	fmt.Printf("peak task blocks: %d (%s)\n", res.PeakTasks, stats.FormatBytes(res.PeakTaskBytes))
 	if res.TimedOut {
 		fmt.Println("TIMED OUT — counts are lower bounds")
 	}

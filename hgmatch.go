@@ -158,7 +158,9 @@ type Result struct {
 	Filtered   uint64
 	Valid      uint64
 	// PeakTasks and PeakTaskBytes report the scheduler's high-water mark
-	// (the quantity Theorem VI.1 bounds).
+	// (the quantity Theorem VI.1 bounds). The task scheduler counts live
+	// embedding blocks (fixed-capacity morsels) and their byte footprint;
+	// the BFS scheduler counts materialised embeddings.
 	PeakTasks     int64
 	PeakTaskBytes int64
 	// Elapsed is the wall-clock run time; TimedOut reports whether the
@@ -202,9 +204,22 @@ func WithContext(ctx context.Context) Option {
 
 // WithCallback streams every embedding to fn. The tuple holds the data
 // hyperedge matched to each query hyperedge in matching order; it is
-// reused between calls — copy it to retain. Calls are serialised.
+// reused between calls — copy it to retain. Calls are serialised, which
+// puts a global lock on the sink path; throughput-sensitive consumers
+// should use WithWorkerCallback instead.
 func WithCallback(fn func(m []EdgeID)) Option {
 	return func(o *engine.Options) { o.OnEmbedding = fn }
+}
+
+// WithWorkerCallback streams every embedding to fn on the worker that found
+// it, tagged with the worker index in [0, workers). Unlike WithCallback,
+// calls are NOT serialised across workers — two workers may call fn
+// concurrently (always with distinct worker indexes), so fn must shard its
+// state by worker or synchronise internally. In exchange the engine takes
+// no per-embedding lock. The tuple is reused between calls — copy it to
+// retain.
+func WithWorkerCallback(fn func(worker int, m []EdgeID)) Option {
+	return func(o *engine.Options) { o.OnEmbeddingWorker = fn }
 }
 
 // WithFilter drops embeddings failing pred before they are counted (the
@@ -310,4 +325,4 @@ func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
 var ErrNoDicts = hgio.ErrNoDicts
 
 // Version identifies this reproduction release.
-const Version = "1.1.0"
+const Version = "1.2.0"

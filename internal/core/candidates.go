@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"hgmatch/internal/hypergraph"
 	"hgmatch/internal/setops"
 )
@@ -25,27 +23,6 @@ func (c *Counters) Add(o Counters) {
 	c.Valid += o.Valid
 }
 
-// Scratch holds reusable buffers for Expand so that steady-state expansion
-// performs no heap allocation. One Scratch per worker; never shared.
-type Scratch struct {
-	vcnt    map[uint32]uint8 // data vertex -> d_Hm(v) within the partial embedding
-	nonAdj  []uint32         // V_n_incdt, sorted
-	lists   [][]uint32       // posting lists queued for one union
-	sets    [][]uint32       // the candidate sets C' of Algorithm 4
-	setBufs [][]uint32       // backing storage for sets, reused across calls
-	acc     []uint32         // union accumulator
-	acc2    []uint32         // union/intersection double buffer
-	inter   []uint32         // intersection result buffer
-	inter2  []uint32
-	profs   []profile // data-side profile buffer for validation
-	order   []int     // set-size ordering buffer
-}
-
-// NewScratch returns an empty scratch area.
-func NewScratch() *Scratch {
-	return &Scratch{vcnt: make(map[uint32]uint8, 64)}
-}
-
 // Expand implements one EXPAND step: given a partial embedding m[:depth]
 // aligned with the plan's matching order, it generates the candidate data
 // hyperedges of ϕ[depth] (Algorithm 4), filters them (Observation V.5 and
@@ -62,12 +39,12 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 	}
 	data := p.Data
 
-	// d_Hm(v) for every vertex of the partial embedding; len(vcnt) is
+	// d_Hm(v) for every vertex of the partial embedding; sc.vlen() is
 	// |V(Hm)|.
-	clear(sc.vcnt)
+	sc.resetVcnt(data.NumVertices(), len(p.Order))
 	for k := 0; k < depth; k++ {
 		for _, v := range data.Edge(m[k]) {
-			sc.vcnt[v]++
+			sc.vinc(v)
 		}
 	}
 
@@ -94,7 +71,7 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 				if data.Label(v) != u.label {
 					continue
 				}
-				if sc.vcnt[v] != u.prefDeg {
+				if sc.vdegOf(v) != u.prefDeg {
 					continue
 				}
 				if len(sc.nonAdj) > 0 && setops.Contains(sc.nonAdj, v) {
@@ -135,11 +112,22 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 	}
 
 	// Intersect all candidate sets, smallest first (Algorithm 4 line 7).
+	// Insertion sort over the handful of set indices: sort.Slice here would
+	// allocate its closure on every Expand call, the one thing the
+	// steady-state path must not do.
 	sc.order = sc.order[:0]
 	for i := range sc.sets {
 		sc.order = append(sc.order, i)
 	}
-	sort.Slice(sc.order, func(a, b int) bool { return len(sc.sets[sc.order[a]]) < len(sc.sets[sc.order[b]]) })
+	for i := 1; i < len(sc.order); i++ {
+		x := sc.order[i]
+		j := i - 1
+		for j >= 0 && len(sc.sets[x]) < len(sc.sets[sc.order[j]]) {
+			sc.order[j+1] = sc.order[j]
+			j--
+		}
+		sc.order[j+1] = x
+	}
 	cand := sc.sets[sc.order[0]]
 	for _, oi := range sc.order[1:] {
 		if len(cand) == 0 {
@@ -151,7 +139,7 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 	}
 
 	// Emit validated candidates.
-	hmVerts := len(sc.vcnt)
+	hmVerts := sc.vlen()
 candidates:
 	for _, c := range cand {
 		// A data hyperedge cannot serve two query hyperedges: distinct
@@ -191,10 +179,10 @@ func (p *Plan) expandRaw(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Coun
 		return
 	}
 	data := p.Data
-	clear(sc.vcnt)
+	sc.resetVcnt(data.NumVertices(), len(p.Order))
 	for k := 0; k < depth; k++ {
 		for _, v := range data.Edge(m[k]) {
-			sc.vcnt[v]++
+			sc.vinc(v)
 		}
 	}
 	sc.nonAdj = sc.nonAdj[:0]
@@ -210,7 +198,7 @@ func (p *Plan) expandRaw(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Coun
 		for _, u := range g.us {
 			sc.lists = sc.lists[:0]
 			for _, v := range fe {
-				if data.Label(v) != u.label || sc.vcnt[v] != u.prefDeg {
+				if data.Label(v) != u.label || sc.vdegOf(v) != u.prefDeg {
 					continue
 				}
 				if len(sc.nonAdj) > 0 && setops.Contains(sc.nonAdj, v) {

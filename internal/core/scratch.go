@@ -1,0 +1,121 @@
+package core
+
+// denseVcntBudget bounds the dense vertex-degree tables per worker, in
+// table entries of 5 bytes (vstamp 4 + vdeg 1). The engine keeps one
+// Scratch per matching-order depth per worker (inline block expansion
+// re-enters Expand), so the budget is checked against |V(H)| × |E(q)|: at
+// the 4M-entry cap a worker's scratches total ~20 MiB regardless of query
+// size, still far below one materialised BFS level on graphs that large.
+// Beyond the budget Scratch falls back to the original map, trading speed
+// for footprint.
+const denseVcntBudget = 1 << 22
+
+// Scratch holds reusable buffers for Expand so that steady-state expansion
+// performs no heap allocation. One Scratch per worker; never shared.
+//
+// The d_Hm(v) vertex-degree table (paper Observation V.4) is the hottest
+// structure: every Expand writes the degrees of every vertex of the partial
+// embedding and probes it per candidate vertex. It is kept as a dense,
+// epoch-stamped pair of slices indexed by vertex ID — "clearing" is one
+// epoch increment, a probe is one bounds-checked load — with a map fallback
+// for graphs above denseVcntMax vertices (see BenchmarkScratchVcnt for the
+// dense-vs-map gap).
+type Scratch struct {
+	vdeg      []uint8          // d_Hm(v), valid only where vstamp[v] == vepoch
+	vstamp    []uint32         // epoch stamp per data vertex
+	vepoch    uint32           // current epoch; bumped per resetVcnt
+	vdistinct int              // |V(Hm)| under the dense table
+	vcnt      map[uint32]uint8 // fallback table for huge graphs
+	useMap    bool             // current mode, decided per resetVcnt
+	forceMap  bool             // test/bench hook: always use the map
+
+	nonAdj  []uint32   // V_n_incdt, sorted
+	lists   [][]uint32 // posting lists queued for one union
+	sets    [][]uint32 // the candidate sets C' of Algorithm 4
+	setBufs [][]uint32 // backing storage for sets, reused across calls
+	acc     []uint32   // union accumulator
+	acc2    []uint32   // union/intersection double buffer
+	inter   []uint32   // intersection result buffer
+	inter2  []uint32
+	profs   []profile // data-side profile buffer for validation
+	order   []int     // set-size ordering buffer
+}
+
+// NewScratch returns an empty scratch area.
+func NewScratch() *Scratch {
+	return &Scratch{}
+}
+
+// resetVcnt clears the vertex-degree table for a new Expand over a data
+// graph with numVertices vertices and a plan of steps matching-order
+// positions (one Scratch may exist per step), sizing the dense table on
+// first use.
+func (sc *Scratch) resetVcnt(numVertices, steps int) {
+	if sc.forceMap || numVertices*steps > denseVcntBudget {
+		sc.useMap = true
+		if sc.vcnt == nil {
+			sc.vcnt = make(map[uint32]uint8, 64)
+		} else {
+			clear(sc.vcnt)
+		}
+		return
+	}
+	sc.useMap = false
+	if len(sc.vstamp) < numVertices {
+		sc.vstamp = make([]uint32, numVertices)
+		sc.vdeg = make([]uint8, numVertices)
+		sc.vepoch = 0
+	}
+	sc.vepoch++
+	if sc.vepoch == 0 {
+		// uint32 wrap: stale stamps from 2^32 calls ago could alias the new
+		// epoch, so pay one full clear every 4 billion resets.
+		clear(sc.vstamp)
+		sc.vepoch = 1
+	}
+	sc.vdistinct = 0
+}
+
+// vinc increments d_Hm(v).
+func (sc *Scratch) vinc(v uint32) {
+	if sc.useMap {
+		sc.vcnt[v]++
+		return
+	}
+	if sc.vstamp[v] != sc.vepoch {
+		sc.vstamp[v] = sc.vepoch
+		sc.vdeg[v] = 1
+		sc.vdistinct++
+		return
+	}
+	sc.vdeg[v]++
+}
+
+// vdegOf returns d_Hm(v); 0 when v is not in the partial embedding.
+func (sc *Scratch) vdegOf(v uint32) uint8 {
+	if sc.useMap {
+		return sc.vcnt[v]
+	}
+	if sc.vstamp[v] != sc.vepoch {
+		return 0
+	}
+	return sc.vdeg[v]
+}
+
+// vseen reports whether v occurs in the partial embedding.
+func (sc *Scratch) vseen(v uint32) bool {
+	if sc.useMap {
+		_, ok := sc.vcnt[v]
+		return ok
+	}
+	return sc.vstamp[v] == sc.vepoch
+}
+
+// vlen returns |V(Hm)|: the number of distinct vertices recorded since the
+// last resetVcnt.
+func (sc *Scratch) vlen() int {
+	if sc.useMap {
+		return len(sc.vcnt)
+	}
+	return sc.vdistinct
+}

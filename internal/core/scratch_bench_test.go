@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"hgmatch/internal/hypergraph"
+)
+
+// scratchBenchPlan builds a clique-ish workload where Expand touches many
+// vertices per call: data hyperedges of arity 4 over a shared vertex pool,
+// one label, and a 3-edge connected query, so the d_Hm(v) table is written
+// and probed heavily.
+func scratchBenchPlan(tb testing.TB) (*Plan, []hypergraph.EdgeID) {
+	b := hypergraph.NewBuilder()
+	const nv = 400
+	for i := 0; i < nv; i++ {
+		b.AddVertex(0)
+	}
+	// Overlapping 4-vertex edges: edge i covers {i, i+1, i+2, i+3} mod nv.
+	for i := 0; i < nv; i++ {
+		b.AddEdge(uint32(i), uint32((i+1)%nv), uint32((i+2)%nv), uint32((i+3)%nv))
+	}
+	h := b.MustBuild()
+
+	qb := hypergraph.NewBuilder()
+	for i := 0; i < 6; i++ {
+		qb.AddVertex(0)
+	}
+	qb.AddEdge(0, 1, 2, 3)
+	qb.AddEdge(1, 2, 3, 4)
+	qb.AddEdge(2, 3, 4, 5)
+	q := qb.MustBuild()
+
+	p, err := NewPlan(q, h)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	first := p.InitialCandidates()
+	if len(first) == 0 {
+		tb.Fatal("no initial candidates")
+	}
+	return p, first
+}
+
+// BenchmarkScratchVcnt isolates the d_Hm(v) table choice (epoch-stamped
+// dense slices vs the original map) on the same Expand workload. The dense
+// variant is what production uses for graphs up to denseVcntMax vertices.
+func BenchmarkScratchVcnt(b *testing.B) {
+	p, first := scratchBenchPlan(b)
+	m := []hypergraph.EdgeID{first[0]}
+	for _, mode := range []struct {
+		name     string
+		forceMap bool
+	}{{"Dense", false}, {"Map", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sc := NewScratch()
+			sc.forceMap = mode.forceMap
+			var ct Counters
+			emit := func(hypergraph.EdgeID) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Expand(1, m, sc, &ct, emit)
+			}
+		})
+	}
+}

@@ -27,7 +27,7 @@ func (p *Plan) validateStep(st *step, depth int, m []hypergraph.EdgeID, c hyperg
 	// Observation V.5: vertex-count equality.
 	newVerts := 0
 	for _, v := range cvs {
-		if _, ok := sc.vcnt[v]; !ok {
+		if !sc.vseen(v) {
 			newVerts++
 		}
 	}

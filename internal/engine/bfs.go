@@ -33,6 +33,8 @@ func runBFS(p *core.Plan, opts Options) Result {
 		st.deadline = time.Now().Add(opts.Timeout)
 		st.hasDL = true
 	}
+	st.hasCancel = st.hasDL || opts.Context != nil
+	st.watch = st.hasCancel || opts.Limit > 0
 	if opts.Aggregate != nil {
 		st.groups = make(map[string]uint64)
 	}
@@ -52,13 +54,16 @@ func runBFS(p *core.Plan, opts Options) Result {
 		}
 	}
 
-	// Sink the final level (complete embeddings).
-	ws := &res.Workers[0]
+	// Sink the final level (complete embeddings). The sharded sink needs a
+	// workerState even on this single-threaded tail; its local count and
+	// aggregation map are merged by finish.
+	w0 := &workerState{id: 0, st: st, ws: &res.Workers[0]}
 	for _, m := range level {
 		if len(m) == nq {
-			st.sink(m, ws)
+			st.sink(m, w0)
 		}
 	}
+	w0.finish()
 	res.Embeddings = st.count.Load()
 	res.Counters = st.mergedCounters
 	res.Counters.Valid += uint64(len(p.InitialCandidates()))
@@ -104,9 +109,9 @@ func parallelExpandLevel(p *core.Plan, st *runState, res *Result, level [][]hype
 			}
 			res.Workers[w].BusyTime += time.Since(t0)
 			outs[w] = out
-			st.countersMu.Lock()
+			st.mergeMu.Lock()
 			st.mergedCounters.Add(ct)
-			st.countersMu.Unlock()
+			st.mergeMu.Unlock()
 		}(w, lo, hi)
 	}
 	wg.Wait()

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"hgmatch/internal/hypergraph"
+)
+
+// morselRows is the number of partial embeddings one block task carries
+// (the morsel size). Large enough that per-task costs — deque traffic,
+// pending-counter updates, clock samples — amortise to noise per
+// embedding; small enough that a stolen block is a meaningful unit of work
+// and Theorem VI.1's bound, restated in block units, stays tight.
+const morselRows = 256
+
+// block is a fixed-capacity arena chunk holding up to morselRows partial
+// embeddings of one common prefix length. Rows are stored contiguously in
+// buf with stride depth, so filling and draining a block is sequential
+// memory traffic and carries no per-embedding allocation: blocks are
+// recycled through per-worker free lists (workerState.free) and their
+// backing array is sized once, to morselRows × |E(q)| IDs.
+type block struct {
+	depth int                 // prefix length of every row
+	n     int                 // rows used
+	buf   []hypergraph.EdgeID // n rows with stride depth
+}
+
+// reset prepares a (possibly recycled) block for rows of the given depth.
+func (b *block) reset(depth int) {
+	b.depth = depth
+	b.n = 0
+	if need := morselRows * depth; cap(b.buf) < need {
+		b.buf = make([]hypergraph.EdgeID, 0, need)
+	}
+	b.buf = b.buf[:0]
+}
+
+func (b *block) full() bool { return b.n == morselRows }
+
+// row returns the i-th partial embedding (aliasing buf; valid until reset).
+func (b *block) row(i int) []hypergraph.EdgeID {
+	return b.buf[i*b.depth : (i+1)*b.depth : (i+1)*b.depth]
+}
+
+// appendRow stores prefix extended by c as a new row; prefix must have
+// depth-1 entries.
+func (b *block) appendRow(prefix []hypergraph.EdgeID, c hypergraph.EdgeID) {
+	b.buf = append(b.buf, prefix...)
+	b.buf = append(b.buf, c)
+	b.n++
+}
+
+// appendRow1 stores a single-edge row (depth 1).
+func (b *block) appendRow1(e hypergraph.EdgeID) {
+	b.buf = append(b.buf, e)
+	b.n++
+}

@@ -33,19 +33,21 @@ func TestTheoremVI1MemoryBound(t *testing.T) {
 		}
 		for _, workers := range []int{1, 4} {
 			res := engine.Run(p, engine.Options{Workers: workers})
-			// Bound on live task count: per worker, each operator level
-			// can hold one expansion's children (≤ |E(H)|), plus split
-			// scan tasks (≤ |E(H)|).
-			bound := int64(workers * (p.NumSteps() + 1) * (h.NumEdges() + 64))
+			// Bound on live blocks: a worker's inline depth-first recursion
+			// holds at most two blocks per matching-order level (the input
+			// and the child block being filled), plus what it published to
+			// its deque — at most one block per level before the LIFO pop
+			// drains it, doubled for steal-transfer slack.
+			bound := int64(workers * (p.NumSteps() + 1) * 4)
 			if res.PeakTasks > bound {
-				t.Errorf("seed %d workers %d: peak %d tasks exceeds Theorem VI.1 bound %d",
+				t.Errorf("seed %d workers %d: peak %d blocks exceeds Theorem VI.1 block bound %d",
 					seed, workers, res.PeakTasks, bound)
 			}
-			// And the byte accounting is the task count times the task
-			// size (a_q × |E(q)| vertex IDs plus header).
-			if res.PeakTaskBytes != res.PeakTasks*int64(p.TaskBytes()) {
+			// And the byte accounting is the block count times the block
+			// size (morselRows × |E(q)| edge IDs plus header).
+			if res.PeakTaskBytes != res.PeakTasks*int64(engine.TaskBlockBytes(p)) {
 				t.Errorf("byte accounting inconsistent: %d != %d × %d",
-					res.PeakTaskBytes, res.PeakTasks, p.TaskBytes())
+					res.PeakTaskBytes, res.PeakTasks, engine.TaskBlockBytes(p))
 			}
 		}
 	}

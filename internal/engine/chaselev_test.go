@@ -18,8 +18,8 @@ func TestChaseLevLIFOOwner(t *testing.T) {
 	}
 	for i := int32(199); i >= 0; i-- {
 		tk, ok := d.pop()
-		if !ok || tk.m[0] != uint32(i) {
-			t.Fatalf("pop %d: %v ok=%v", i, tk.m, ok)
+		if !ok || tk.lo != uint32(i) {
+			t.Fatalf("pop %d: %v ok=%v", i, tk.lo, ok)
 		}
 	}
 	if _, ok := d.pop(); ok {
@@ -38,18 +38,18 @@ func TestChaseLevStealFIFO(t *testing.T) {
 	// Thieves take the OLDEST first.
 	for want := uint32(0); want < 3; want++ {
 		st := d.steal()
-		if len(st) != 1 || st[0].m[0] != want {
+		if len(st) != 1 || st[0].lo != want {
 			t.Fatalf("steal: %v, want %d", st, want)
 		}
 	}
 	// Owner still pops LIFO of the remainder: 4, 3.
 	tk, _ := d.pop()
-	if tk.m[0] != 4 {
-		t.Fatalf("pop after steals = %v", tk.m)
+	if tk.lo != 4 {
+		t.Fatalf("pop after steals = %v", tk.lo)
 	}
 	tk, _ = d.pop()
-	if tk.m[0] != 3 {
-		t.Fatalf("pop after steals = %v", tk.m)
+	if tk.lo != 3 {
+		t.Fatalf("pop after steals = %v", tk.lo)
 	}
 	if st := d.steal(); st != nil {
 		t.Fatalf("steal from empty = %v", st)
@@ -76,10 +76,10 @@ func TestChaseLevGrowPreservesOrder(t *testing.T) {
 		} else {
 			tk, ok = d.pop()
 		}
-		if !ok || seen[tk.m[0]] {
+		if !ok || seen[tk.lo] {
 			t.Fatalf("lost or duplicated task at %d", i)
 		}
-		seen[tk.m[0]] = true
+		seen[tk.lo] = true
 	}
 	if len(seen) != n {
 		t.Fatalf("delivered %d of %d", len(seen), n)
@@ -96,7 +96,7 @@ func TestChaseLevConcurrent(t *testing.T) {
 	record := func(ts ...task) {
 		mu.Lock()
 		for _, tk := range ts {
-			seen[tk.m[0]]++
+			seen[tk.lo]++
 		}
 		mu.Unlock()
 	}

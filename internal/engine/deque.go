@@ -7,17 +7,17 @@ package engine
 
 import (
 	"sync"
-
-	"hgmatch/internal/hypergraph"
 )
 
-// task is the minimal scheduling unit (paper Definition VI.1). A task is
-// either a SCAN range over the start partition's edge list (m == nil) or a
-// partial embedding to EXPAND (m = matched prefix aligned with the matching
-// order). Tasks are lightweight: a slice header and its few edge IDs.
+// task is the minimal scheduling unit (paper Definition VI.1, morsel-driven
+// variant). A task is either a SCAN range over the start partition's edge
+// list (blk == nil) or a block of up to morselRows partial embeddings to
+// EXPAND. Carrying a block instead of one embedding keeps the paper's task
+// semantics (LIFO order, stealable units, bounded live set) while
+// eliminating the per-embedding allocation and most scheduler round-trips.
 type task struct {
-	m      []hypergraph.EdgeID // partial embedding prefix; nil for scan tasks
-	lo, hi uint32              // scan range [lo, hi) into the start partition
+	blk    *block // block of partial embeddings; nil for scan tasks
+	lo, hi uint32 // scan range [lo, hi) into the start partition
 }
 
 // deque is one worker's task queue. The owner pushes and pops at the head

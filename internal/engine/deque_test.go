@@ -3,12 +3,12 @@ package engine
 import (
 	"sync"
 	"testing"
-
-	"hgmatch/internal/hypergraph"
 )
 
+// mkTask builds a distinguishable task for queue tests; the scan-range lo
+// field doubles as the identity.
 func mkTask(id uint32) task {
-	return task{m: []hypergraph.EdgeID{id}}
+	return task{lo: id, hi: id + 1}
 }
 
 func TestDequeLIFO(t *testing.T) {
@@ -18,8 +18,8 @@ func TestDequeLIFO(t *testing.T) {
 	}
 	for i := int32(4); i >= 0; i-- {
 		tk, ok := d.pop()
-		if !ok || tk.m[0] != uint32(i) {
-			t.Fatalf("pop %d: got %v ok=%v", i, tk.m, ok)
+		if !ok || tk.lo != uint32(i) {
+			t.Fatalf("pop %d: got %v ok=%v", i, tk.lo, ok)
 		}
 	}
 	if _, ok := d.pop(); ok {
@@ -38,15 +38,15 @@ func TestDequeStealHalfFromTail(t *testing.T) {
 	}
 	// Stolen tasks are the OLDEST (tail): 0, 1, 2.
 	for i, tk := range stolen {
-		if tk.m[0] != uint32(i) {
-			t.Errorf("stolen[%d] = %v, want %d", i, tk.m, i)
+		if tk.lo != uint32(i) {
+			t.Errorf("stolen[%d] = %v, want %d", i, tk.lo, i)
 		}
 	}
 	// Owner still pops LIFO from the remaining head: 5, 4, 3.
 	for want := uint32(5); want >= 3; want-- {
 		tk, ok := d.pop()
-		if !ok || tk.m[0] != want {
-			t.Fatalf("after steal pop: got %v, want %d", tk.m, want)
+		if !ok || tk.lo != want {
+			t.Fatalf("after steal pop: got %v, want %d", tk.lo, want)
 		}
 	}
 	if d.size() != 0 {
@@ -58,7 +58,7 @@ func TestDequeStealSingle(t *testing.T) {
 	var d deque
 	d.push(mkTask(42))
 	stolen := d.stealHalf()
-	if len(stolen) != 1 || stolen[0].m[0] != 42 {
+	if len(stolen) != 1 || stolen[0].lo != 42 {
 		t.Fatalf("stealHalf of singleton = %v", stolen)
 	}
 	if s := d.stealHalf(); s != nil {
@@ -80,7 +80,7 @@ func TestDequeConcurrentDisjoint(t *testing.T) {
 	record := func(tasks ...task) {
 		mu.Lock()
 		for _, tk := range tasks {
-			seen[tk.m[0]]++
+			seen[tk.lo]++
 		}
 		mu.Unlock()
 	}
@@ -135,7 +135,7 @@ func TestPushN(t *testing.T) {
 		t.Fatalf("size = %d", d.size())
 	}
 	tk, _ := d.pop()
-	if tk.m[0] != 2 {
-		t.Fatalf("pop after pushN = %v, want head 2", tk.m)
+	if tk.lo != 2 {
+		t.Fatalf("pop after pushN = %v, want head 2", tk.lo)
 	}
 }

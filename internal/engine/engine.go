@@ -18,7 +18,10 @@ type Scheduler int
 
 const (
 	// SchedulerTask is HGMatch's task-based LIFO scheduler with bounded
-	// memory (paper §VI-B). This is the default.
+	// memory (paper §VI-B), in its morsel-driven form: tasks carry blocks
+	// of partial embeddings and workers expand depth-first inline,
+	// publishing stealable blocks only when their deque runs dry. This is
+	// the default.
 	SchedulerTask Scheduler = iota
 	// SchedulerBFS is the breadth-first, level-synchronous scheduler that
 	// materialises every intermediate result; it serves as the
@@ -30,6 +33,42 @@ const (
 // before splitting; small enough to give thieves work, large enough to
 // amortise scheduling.
 const scanChunk = 64
+
+// publishThreshold is the deque-starvation bound of the morsel scheduler: a
+// full block is published (pushed, stealable) only while the worker's own
+// deque holds fewer than this many tasks; otherwise it is expanded inline,
+// skipping the scheduler round-trip entirely. Thieves drain published
+// blocks; a busy worker with a stocked deque runs allocation- and
+// synchronisation-free.
+const publishThreshold = 2
+
+// busyWindow is how many tasks share one BusyTime clock sample. Sampling
+// time.Now() once per window instead of twice per task removes the clock
+// from the micro-task cost at the price of WorkerStats.BusyTime resolution:
+// busy spans are measured in windows of up to busyWindow tasks (block tasks
+// are coarse, so a window is typically milliseconds of real work).
+const busyWindow = 16
+
+// cancelCheckRows is how many embedding rows a worker expands between
+// deadline/context polls while inside a block (blocks are also checked once
+// per task pop). Bounds cancellation latency without a clock read per row.
+const cancelCheckRows = 1024
+
+// maxFreeBlocks caps a worker's block free list; beyond it drained blocks
+// are dropped for the GC (only reachable under pathological steal churn).
+const maxFreeBlocks = 64
+
+// blockHeaderBytes is the accounted fixed overhead of one block task:
+// the block struct, its slice header and the task wrapper.
+const blockHeaderBytes = 48
+
+// TaskBlockBytes returns the accounted in-memory size of one block task for
+// plan p: a fixed header plus morselRows rows of |E(q)| edge IDs. It is the
+// per-task size of Theorem VI.1's accounting, restated in block units;
+// Result.PeakTaskBytes is PeakTasks times this value.
+func TaskBlockBytes(p *core.Plan) int {
+	return blockHeaderBytes + 4*morselRows*p.NumSteps()
+}
 
 // Options configures a Run.
 type Options struct {
@@ -47,34 +86,45 @@ type Options struct {
 	StealOne bool
 	// OnEmbedding, when non-nil, receives every embedding (the tuple is
 	// aligned with plan.Order and reused; copy to retain). Calls are
-	// serialised by the engine, so the callback needs no locking.
+	// serialised by the engine, so the callback needs no locking — at the
+	// cost of a global lock on the sink path; high-throughput consumers
+	// should prefer OnEmbeddingWorker.
 	OnEmbedding func(m []hypergraph.EdgeID)
+	// OnEmbeddingWorker, when non-nil, receives every embedding on the
+	// worker that found it, tagged with the worker index in [0, Workers).
+	// Calls are NOT serialised across workers — two workers may call
+	// concurrently (always with distinct worker indexes), so fn must
+	// shard its state by worker or synchronise internally. The tuple is
+	// reused; copy to retain. This is the sharded-sink path: no global
+	// lock is taken per embedding.
+	OnEmbeddingWorker func(worker int, m []hypergraph.EdgeID)
 	// Limit stops the run after this many embeddings (0 = unlimited).
 	Limit uint64
 	// Timeout aborts the run after this duration (0 = none). Aborted runs
 	// report TimedOut = true and a lower-bound embedding count.
 	Timeout time.Duration
 	// Context, when non-nil, aborts the run on cancellation (checked at
-	// task granularity alongside the deadline). Cancelled runs report
-	// TimedOut = true.
+	// task granularity and every cancelCheckRows embeddings within a
+	// block). Cancelled runs report TimedOut = true.
 	Context context.Context
 	// Filter drops complete embeddings failing the predicate before they
 	// reach the sink (dataflow FILTER operator).
 	Filter dataflow.Predicate
 	// Aggregate, when non-nil, groups embeddings by key and counts per
-	// group (dataflow AGGREGATE operator). Groups are returned in
-	// Result.Groups.
+	// group (dataflow AGGREGATE operator). Groups are accumulated in
+	// per-worker maps merged at run end and returned in Result.Groups.
 	Aggregate dataflow.KeyFunc
 }
 
 // WorkerStats reports one worker's contribution; Exp-6 (Fig. 12) plots the
-// per-worker busy times to show load balance.
+// per-worker busy times to show load balance. BusyTime is sampled once per
+// busyWindow tasks, not per task, so its resolution is one window.
 type WorkerStats struct {
 	Tasks     uint64        // tasks executed
-	Spawned   uint64        // tasks spawned
+	Spawned   uint64        // tasks spawned (pushed to a deque)
 	Steals    uint64        // successful steal operations performed
 	Stolen    uint64        // tasks obtained via stealing
-	BusyTime  time.Duration // time spent executing tasks
+	BusyTime  time.Duration // time spent executing tasks (window-sampled)
 	SinkCount uint64        // embeddings this worker sank
 }
 
@@ -83,9 +133,12 @@ type Result struct {
 	Embeddings uint64
 	Counters   core.Counters
 	Workers    []WorkerStats
-	// PeakTasks is the high-water mark of live tasks; PeakTaskBytes
-	// applies the per-task size (Theorem VI.1's accounting). For the BFS
-	// scheduler these describe the largest materialised level instead.
+	// PeakTasks is the high-water mark of live embedding blocks (queued,
+	// executing, or being filled inline); PeakTaskBytes applies the
+	// per-block size TaskBlockBytes (Theorem VI.1's accounting in block
+	// units; scan-range tasks are a few words each and not counted). For
+	// the BFS scheduler these describe the largest materialised level in
+	// embeddings and per-embedding bytes instead.
 	PeakTasks     int64
 	PeakTaskBytes int64
 	Elapsed       time.Duration
@@ -144,20 +197,51 @@ type runState struct {
 	nq    int // |E(q)|
 	first []hypergraph.EdgeID
 
-	deques  []taskQueue
-	pending atomic.Int64 // live tasks (queued or executing)
-	peak    atomic.Int64
-	stopped atomic.Bool
-	count   atomic.Uint64
+	deques     []taskQueue
+	pending    atomic.Int64 // live tasks (queued or executing)
+	liveBlocks atomic.Int64 // embedding blocks alive (queued, executing, filling)
+	peak       atomic.Int64 // high-water mark of liveBlocks
+	stopped    atomic.Bool
+	count      atomic.Uint64
 
-	deadline time.Time
-	hasDL    bool
+	deadline  time.Time
+	hasDL     bool
+	hasCancel bool // deadline or context present
+	watch     bool // any stop condition can fire mid-run (limit/deadline/ctx)
 
-	sinkMu sync.Mutex // serialises OnEmbedding / aggregation
+	sinkMu sync.Mutex // serialises the legacy OnEmbedding callback
 	groups map[string]uint64
 
-	countersMu     sync.Mutex
+	mergeMu        sync.Mutex // guards end-of-run merges (counters, groups)
 	mergedCounters core.Counters
+}
+
+// workerState is one worker's private execution state: scratch areas, the
+// block free list, and the sharded sink accumulators (local embedding
+// count, aggregation map) that are merged into runState once at worker
+// exit — the steady-state sink path touches no shared cache line.
+type workerState struct {
+	id int
+	st *runState
+	ws *WorkerStats
+	my taskQueue
+
+	// One Scratch per matching-order depth: inline block expansion
+	// re-enters Expand for depth d+1 from inside depth d's emit callback,
+	// and a Scratch must never be shared by two live Expand calls.
+	scs     []*core.Scratch
+	ct      core.Counters
+	emitBuf []hypergraph.EdgeID
+	free    []*block // recycled blocks; the allocation-free steady state
+
+	localCount uint64            // embeddings sunk (no-limit path); flushed at exit
+	groups     map[string]uint64 // per-worker AGGREGATE map; merged at exit
+
+	rowsToCancelCheck int
+
+	busyStart time.Time
+	busyOpen  bool
+	busyTasks int
 }
 
 func runTasks(p *core.Plan, opts Options) Result {
@@ -172,6 +256,8 @@ func runTasks(p *core.Plan, opts Options) Result {
 		st.deadline = time.Now().Add(opts.Timeout)
 		st.hasDL = true
 	}
+	st.hasCancel = st.hasDL || opts.Context != nil
+	st.watch = st.hasCancel || opts.Limit > 0
 	if opts.Aggregate != nil {
 		st.groups = make(map[string]uint64)
 	}
@@ -196,7 +282,6 @@ func runTasks(p *core.Plan, opts Options) Result {
 			st.deques[i].push(task{lo: lo, hi: hi})
 		}
 	}
-	st.peak.Store(st.pending.Load())
 
 	stats := make([]WorkerStats, opts.Workers)
 	var wg sync.WaitGroup
@@ -214,7 +299,7 @@ func runTasks(p *core.Plan, opts Options) Result {
 		Counters:      st.mergedCounters,
 		Workers:       stats,
 		PeakTasks:     st.peak.Load(),
-		PeakTaskBytes: st.peak.Load() * int64(p.TaskBytes()),
+		PeakTaskBytes: st.peak.Load() * int64(TaskBlockBytes(p)),
 		TimedOut:      st.stopped.Load() && st.hitDeadline(),
 		Groups:        st.groups,
 	}
@@ -235,22 +320,26 @@ func (st *runState) hitDeadline() bool {
 }
 
 func (st *runState) worker(id int, ws *WorkerStats) {
-	my := st.deques[id]
-	sc := core.NewScratch()
-	var ct core.Counters
+	w := &workerState{
+		id:      id,
+		st:      st,
+		ws:      ws,
+		my:      st.deques[id],
+		scs:     make([]*core.Scratch, st.nq),
+		emitBuf: make([]hypergraph.EdgeID, st.nq),
+	}
 	rng := rand.New(rand.NewSource(int64(id)*0x9E3779B9 + 1))
-	emitBuf := make([]hypergraph.EdgeID, st.nq)
-	checkEvery := 0
 
 	defer func() {
-		st.countersMu.Lock()
-		st.mergedCounters.Add(ct)
-		st.countersMu.Unlock()
+		w.closeBusy()
+		w.finish()
 	}()
 
+	idleRounds := 0
 	for {
-		t, ok := my.pop()
+		t, ok := w.my.pop()
 		if !ok {
+			w.closeBusy()
 			if st.opts.DisableStealing {
 				// Tasks never migrate without stealing, so an empty own
 				// deque means this worker's whole share is finished.
@@ -261,31 +350,73 @@ func (st *runState) worker(id int, ws *WorkerStats) {
 				if st.pending.Load() == 0 {
 					return
 				}
-				runtime.Gosched()
+				idleWait(idleRounds)
+				idleRounds++
 				continue
 			}
+			idleRounds = 0
 			ws.Steals++
 			ws.Stolen += uint64(len(stolen))
-			my.pushN(stolen)
+			w.my.pushN(stolen)
 			continue
 		}
+		idleRounds = 0
 
-		if st.stopped.Load() {
+		if st.stopped.Load() || (st.hasCancel && st.hitDeadline()) {
+			st.stopped.Store(true)
 			st.pending.Add(-1)
+			w.discard(t)
 			continue
 		}
-		if st.hasDL || st.opts.Context != nil {
-			checkEvery++
-			if checkEvery&0x3F == 0 && st.hitDeadline() {
-				st.stopped.Store(true)
-			}
-		}
 
-		t0 := time.Now()
-		st.execute(t, my, ws, sc, &ct, emitBuf)
-		ws.BusyTime += time.Since(t0)
+		w.openBusy()
+		st.execute(t, w)
 		ws.Tasks++
 		st.pending.Add(-1)
+		if w.busyTasks++; w.busyTasks >= busyWindow {
+			w.closeBusy()
+		}
+	}
+}
+
+// idleWait backs off a worker that found nothing to steal while tasks are
+// still pending: a few Gosched yields first (cheap, low wake-up latency),
+// then exponentially growing sleeps capped at 256µs so idle workers on
+// skewed workloads stop burning a core instead of spinning on Gosched.
+func idleWait(round int) {
+	if round < 4 {
+		runtime.Gosched()
+		return
+	}
+	shift := round - 4
+	if shift > 8 {
+		shift = 8
+	}
+	time.Sleep(time.Duration(int64(1)<<uint(shift)) * time.Microsecond)
+}
+
+// openBusy starts a BusyTime sampling window unless one is already open.
+func (w *workerState) openBusy() {
+	if !w.busyOpen {
+		w.busyStart = time.Now()
+		w.busyOpen = true
+		w.busyTasks = 0
+	}
+}
+
+// closeBusy ends the current sampling window, attributing its wall time.
+func (w *workerState) closeBusy() {
+	if w.busyOpen {
+		w.ws.BusyTime += time.Since(w.busyStart)
+		w.busyOpen = false
+		w.busyTasks = 0
+	}
+}
+
+// discard drops a task popped after the run stopped, releasing its block.
+func (w *workerState) discard(t task) {
+	if t.blk != nil {
+		w.release(t.blk)
 	}
 }
 
@@ -309,74 +440,171 @@ func (st *runState) trySteal(self int, rng *rand.Rand) []task {
 	return nil
 }
 
-// execute runs one task: a SCAN range split/emit or one EXPAND step. New
-// tasks are pushed LIFO to the worker's own deque.
-func (st *runState) execute(t task, my taskQueue, ws *WorkerStats, sc *core.Scratch, ct *core.Counters, emitBuf []hypergraph.EdgeID) {
-	p := st.plan
-	if t.m == nil {
-		// TSCAN.
-		if t.hi-t.lo > scanChunk {
-			mid := t.lo + (t.hi-t.lo)/2
-			st.pending.Add(2)
-			st.notePeak()
-			my.push(task{lo: mid, hi: t.hi})
-			my.push(task{lo: t.lo, hi: mid})
-			ws.Spawned += 2
-			return
-		}
-		if st.nq == 1 {
-			for _, e := range st.first[t.lo:t.hi] {
-				ct.Valid++
-				emitBuf[0] = e
-				st.sink(emitBuf, ws)
-			}
-			return
-		}
-		spawned := 0
-		for i := t.hi; i > t.lo; i-- { // reverse so LIFO pops ascending
-			e := st.first[i-1]
-			ct.Valid++
-			m := make([]hypergraph.EdgeID, 1, st.nq)
-			m[0] = e
-			st.pending.Add(1)
-			my.push(task{m: m})
-			spawned++
-		}
-		ws.Spawned += uint64(spawned)
-		st.notePeak()
+// execute runs one task: a SCAN range split/emit or one block EXPAND.
+func (st *runState) execute(t task, w *workerState) {
+	if t.blk != nil {
+		w.expandBlock(t.blk)
+		w.release(t.blk)
 		return
 	}
 
-	// TEXPAND.
-	depth := len(t.m)
-	if depth == st.nq-1 {
-		// Last step: children are complete embeddings; sink directly
-		// (fusing TEXPAND with its TSINK children — same results, fewer
-		// scheduler round-trips).
-		copy(emitBuf, t.m)
-		p.Expand(depth, t.m, sc, ct, func(c hypergraph.EdgeID) {
-			emitBuf[depth] = c
-			st.sink(emitBuf[:depth+1], ws)
-		})
+	// TSCAN.
+	if t.hi-t.lo > scanChunk {
+		mid := t.lo + (t.hi-t.lo)/2
+		st.pending.Add(2)
+		w.my.push(task{lo: mid, hi: t.hi})
+		w.my.push(task{lo: t.lo, hi: mid})
+		w.ws.Spawned += 2
 		return
 	}
-	spawned := 0
-	p.Expand(depth, t.m, sc, ct, func(c hypergraph.EdgeID) {
-		m := make([]hypergraph.EdgeID, depth+1, st.nq)
-		copy(m, t.m)
-		m[depth] = c
-		st.pending.Add(1)
-		my.push(task{m: m})
-		spawned++
-	})
-	ws.Spawned += uint64(spawned)
-	if spawned > 0 {
-		st.notePeak()
+	if st.nq == 1 {
+		for _, e := range st.first[t.lo:t.hi] {
+			w.ct.Valid++
+			w.emitBuf[0] = e
+			st.sink(w.emitBuf[:1], w)
+		}
+		return
+	}
+	b := w.acquire(1)
+	for _, e := range st.first[t.lo:t.hi] {
+		w.ct.Valid++
+		b.appendRow1(e)
+		if b.full() {
+			w.dispatch(b)
+			b = w.acquire(1)
+		}
+	}
+	if b.n > 0 {
+		w.dispatch(b)
+	} else {
+		w.release(b)
 	}
 }
 
-func (st *runState) notePeak() {
-	cur := st.pending.Load()
+// dispatch hands a filled block onward: published to the worker's deque
+// (stealable, one scheduler round-trip) only while the deque is starved,
+// otherwise expanded depth-first inline — the morsel scheduler's fast path.
+func (w *workerState) dispatch(b *block) {
+	st := w.st
+	if !st.opts.DisableStealing && w.my.size() < publishThreshold {
+		st.pending.Add(1)
+		w.ws.Spawned++
+		w.my.push(task{blk: b})
+		return
+	}
+	w.expandBlock(b)
+	w.release(b)
+}
+
+// expandBlock runs EXPAND over every row of a block. Children fill a block
+// of depth+1 that is dispatched as it becomes full; at the final step the
+// children are complete embeddings and sink directly (fusing TEXPAND with
+// its TSINK children — same results, fewer scheduler round-trips). Inline
+// dispatch recurses at most |E(q)| frames deep, so a worker holds at most
+// ~2·|E(q)| blocks outside its deque — the Theorem VI.1 bound in blocks.
+func (w *workerState) expandBlock(b *block) {
+	st := w.st
+	depth := b.depth
+	sc := w.scratch(depth)
+
+	if depth == st.nq-1 {
+		emit := func(c hypergraph.EdgeID) {
+			w.emitBuf[depth] = c
+			st.sink(w.emitBuf[:depth+1], w)
+		}
+		for i := 0; i < b.n; i++ {
+			if w.shouldStop() {
+				return
+			}
+			m := b.row(i)
+			copy(w.emitBuf, m)
+			st.plan.Expand(depth, m, sc, &w.ct, emit)
+		}
+		return
+	}
+
+	out := w.acquire(depth + 1)
+	var cur []hypergraph.EdgeID
+	emit := func(c hypergraph.EdgeID) {
+		out.appendRow(cur, c)
+		if out.full() {
+			w.dispatch(out)
+			out = w.acquire(depth + 1)
+		}
+	}
+	for i := 0; i < b.n; i++ {
+		if w.shouldStop() {
+			break
+		}
+		cur = b.row(i)
+		st.plan.Expand(depth, cur, sc, &w.ct, emit)
+	}
+	if out.n > 0 {
+		w.dispatch(out)
+	} else {
+		w.release(out)
+	}
+}
+
+// shouldStop polls the stop flag per row and the deadline/context every
+// cancelCheckRows rows, bounding cancellation latency inside long blocks.
+func (w *workerState) shouldStop() bool {
+	st := w.st
+	if !st.watch {
+		return false
+	}
+	if st.stopped.Load() {
+		return true
+	}
+	if st.hasCancel {
+		if w.rowsToCancelCheck--; w.rowsToCancelCheck <= 0 {
+			w.rowsToCancelCheck = cancelCheckRows
+			if st.hitDeadline() {
+				st.stopped.Store(true)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scratch returns the worker's Scratch for one matching-order depth,
+// creating it on first use.
+func (w *workerState) scratch(depth int) *core.Scratch {
+	if w.scs[depth] == nil {
+		w.scs[depth] = core.NewScratch()
+	}
+	return w.scs[depth]
+}
+
+// acquire takes a block from the worker's free list (or allocates one) and
+// prepares it for rows of the given depth, updating the live-block peak.
+func (w *workerState) acquire(depth int) *block {
+	var b *block
+	if n := len(w.free); n > 0 {
+		b = w.free[n-1]
+		w.free = w.free[:n-1]
+	} else {
+		b = &block{buf: make([]hypergraph.EdgeID, 0, morselRows*w.st.nq)}
+	}
+	b.reset(depth)
+	st := w.st
+	if cur := st.liveBlocks.Add(1); cur > st.peak.Load() {
+		st.notePeak(cur)
+	}
+	return b
+}
+
+// release returns a drained block to the free list. Stolen blocks land in
+// the thief's list — ownership follows execution, so no locking is needed.
+func (w *workerState) release(b *block) {
+	w.st.liveBlocks.Add(-1)
+	if len(w.free) < maxFreeBlocks {
+		w.free = append(w.free, b)
+	}
+}
+
+func (st *runState) notePeak(cur int64) {
 	for {
 		old := st.peak.Load()
 		if cur <= old || st.peak.CompareAndSwap(old, cur) {
@@ -385,17 +613,38 @@ func (st *runState) notePeak() {
 	}
 }
 
+// finish merges the worker's sharded sink state into the run: the batched
+// embedding count (one atomic add per worker per run on the no-limit path)
+// and the per-worker aggregation map and expansion counters.
+func (w *workerState) finish() {
+	st := w.st
+	if w.localCount > 0 {
+		st.count.Add(w.localCount)
+	}
+	st.mergeMu.Lock()
+	st.mergedCounters.Add(w.ct)
+	for k, v := range w.groups {
+		st.groups[k] += v
+	}
+	st.mergeMu.Unlock()
+}
+
 // sink consumes one complete embedding: TSINK (paper §VI-A), plus the
-// FILTER and AGGREGATE extension operators.
-func (st *runState) sink(m []hypergraph.EdgeID, ws *WorkerStats) {
+// FILTER and AGGREGATE extension operators. The path is sharded per worker:
+// without a Limit the count is worker-local (flushed at exit), aggregation
+// goes to a worker-local map, and OnEmbeddingWorker runs without any lock.
+// With a Limit the global atomic acts as a cooperative budget — each worker
+// reserves a slot and the racing over-reservation is trimmed back — keeping
+// the reported count and callback deliveries exactly Limit.
+func (st *runState) sink(m []hypergraph.EdgeID, w *workerState) {
 	if st.stopped.Load() {
 		return
 	}
 	if st.opts.Filter != nil && !st.opts.Filter(m) {
 		return
 	}
-	n := st.count.Add(1)
 	if st.opts.Limit > 0 {
+		n := st.count.Add(1)
 		if n > st.opts.Limit {
 			// A concurrent sink raced past the limit; undo and drop so
 			// the reported count never exceeds it.
@@ -406,16 +655,22 @@ func (st *runState) sink(m []hypergraph.EdgeID, ws *WorkerStats) {
 		if n == st.opts.Limit {
 			st.stopped.Store(true)
 		}
+	} else {
+		w.localCount++
 	}
-	ws.SinkCount++
-	if st.opts.OnEmbedding != nil || st.opts.Aggregate != nil {
+	w.ws.SinkCount++
+	if st.opts.Aggregate != nil {
+		if w.groups == nil {
+			w.groups = make(map[string]uint64, 16)
+		}
+		w.groups[st.opts.Aggregate(m)]++
+	}
+	if st.opts.OnEmbeddingWorker != nil {
+		st.opts.OnEmbeddingWorker(w.id, m)
+	}
+	if st.opts.OnEmbedding != nil {
 		st.sinkMu.Lock()
-		if st.opts.Aggregate != nil {
-			st.groups[st.opts.Aggregate(m)]++
-		}
-		if st.opts.OnEmbedding != nil {
-			st.opts.OnEmbedding(m)
-		}
+		st.opts.OnEmbedding(m)
 		st.sinkMu.Unlock()
 	}
 }

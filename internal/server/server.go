@@ -16,29 +16,39 @@
 // as strings in the same text format the CLIs read from .hg files.
 //
 // The hot path is built for concurrency: plans are immutable and shared
-// across requests, embeddings stream through hgmatch.WithCallback so large
-// result sets never materialise server-side, and every run is wired to the
-// request context through hgmatch.WithContext so a client disconnect stops
-// enumeration mid-run.
+// across requests, embeddings stream through hgmatch.WithWorkerCallback
+// into per-worker NDJSON buffers (no global per-embedding lock, nothing
+// materialises server-side; lines from different workers interleave), and
+// every run is wired to the request context through hgmatch.WithContext so
+// a client disconnect stops enumeration mid-run.
 package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"hgmatch"
 	"hgmatch/internal/hgio"
 )
 
-// flushEvery bounds how many NDJSON embedding lines are buffered before the
-// response is flushed to the client; small enough for interactive streaming,
-// large enough to amortise flush syscalls on huge result sets.
-const flushEvery = 64
+// shardFlushBytes bounds how much NDJSON one worker shard buffers before
+// draining to the response under the writer lock. Each engine worker
+// encodes into its own buffer; the writer lock is taken once per drained
+// buffer, so its cost amortises over hundreds of lines on fast producers.
+const shardFlushBytes = 16 << 10
+
+// shardFlushInterval is the periodic drain for slow producers: a ticker
+// flushes every shard this often so trickling enumerations still stream
+// interactively instead of sitting in half-empty shard buffers until the
+// run ends.
+const shardFlushInterval = 200 * time.Millisecond
 
 // Config tunes a Server. The zero value is usable: defaults are filled in
 // by New.
@@ -212,8 +222,9 @@ func writePlanError(w http.ResponseWriter, req *hgio.MatchRequest, err error) {
 }
 
 // options maps request fields onto engine options, always wiring in the
-// request context so client disconnects cancel the run.
-func (s *Server) options(r *http.Request, req *hgio.MatchRequest) []hgmatch.Option {
+// request context so client disconnects cancel the run. It also returns the
+// resolved worker count so handlers can size per-worker state.
+func (s *Server) options(r *http.Request, req *hgio.MatchRequest) ([]hgmatch.Option, int) {
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
 		// Clamp in milliseconds BEFORE converting: a huge timeout_ms would
@@ -246,7 +257,7 @@ func (s *Server) options(r *http.Request, req *hgio.MatchRequest) []hgmatch.Opti
 		hgmatch.WithTimeout(timeout),
 		hgmatch.WithWorkers(workers),
 		hgmatch.WithLimit(req.Limit),
-	}
+	}, workers
 }
 
 func summarise(res hgmatch.Result, plan *hgmatch.Plan, cached bool) hgio.MatchSummary {
@@ -264,8 +275,14 @@ func summarise(res hgmatch.Result, plan *hgmatch.Plan, cached bool) hgio.MatchSu
 }
 
 // handleMatch streams every embedding as one NDJSON line, closing with a
-// MatchSummary line. Results never materialise server-side: the engine's
-// serialised callback hands each tuple straight to the response writer.
+// MatchSummary line. Results never materialise server-side, and the stream
+// is sharded: every engine worker encodes into its own buffer via
+// WithWorkerCallback, guarded by a per-shard mutex that only the owning
+// worker and the 5Hz background flusher ever contend for — no global
+// per-embedding lock. Full buffers drain immediately; the flusher drains
+// partial ones so slow enumerations still stream interactively. Lines from
+// different workers interleave, but each drained buffer holds whole lines,
+// so the NDJSON framing is preserved; result order was never deterministic.
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodeRequest(w, r)
 	if !ok {
@@ -281,30 +298,85 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
 
-	pending := 0
-	flush := func() {
+	opts, workers := s.options(r, req)
+
+	type shard struct {
+		mu  sync.Mutex
+		buf bytes.Buffer
+		enc *json.Encoder
+	}
+	shards := make([]*shard, workers)
+	for i := range shards {
+		shards[i] = &shard{}
+		shards[i].enc = json.NewEncoder(&shards[i].buf)
+	}
+	var wmu sync.Mutex // serialises shard drains into the response
+	// drain moves a shard's buffered lines to the response; the caller
+	// holds sh.mu (lock order: sh.mu, then wmu). Write errors (client
+	// gone) are deliberately ignored: the request context is already
+	// cancelled and WithContext stops the run.
+	drain := func(sh *shard) {
+		wmu.Lock()
+		bw.Write(sh.buf.Bytes())
 		bw.Flush()
 		if flusher != nil {
 			flusher.Flush()
 		}
-		pending = 0
+		wmu.Unlock()
+		sh.buf.Reset()
 	}
-	opts := append(s.options(r, req), hgmatch.WithCallback(func(m []hgmatch.EdgeID) {
-		// The engine reuses the tuple between calls; encode immediately
-		// rather than copy-and-retain. Write errors (client gone) are
-		// deliberately ignored: the request context is already cancelled
-		// and WithContext stops the run at task granularity.
-		enc.Encode(hgio.EmbeddingRecord{Embedding: m})
-		if pending++; pending >= flushEvery {
-			flush()
+	stopFlush := make(chan struct{})
+	flushDone := make(chan struct{})
+	go func() {
+		defer close(flushDone)
+		tick := time.NewTicker(shardFlushInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopFlush:
+				return
+			case <-tick.C:
+				for _, sh := range shards {
+					sh.mu.Lock()
+					if sh.buf.Len() > 0 {
+						drain(sh)
+					}
+					sh.mu.Unlock()
+				}
+			}
 		}
+	}()
+	opts = append(opts, hgmatch.WithWorkerCallback(func(wid int, m []hgmatch.EdgeID) {
+		// The engine reuses the tuple between calls; encode immediately
+		// rather than copy-and-retain. The shard mutex is effectively
+		// private to this worker (the flusher grabs it 5 times a second),
+		// so the steady-state cost is an uncontended lock, not the old
+		// all-workers sink mutex.
+		sh := shards[wid]
+		sh.mu.Lock()
+		sh.enc.Encode(hgio.EmbeddingRecord{Embedding: m})
+		if sh.buf.Len() >= shardFlushBytes {
+			drain(sh)
+		}
+		sh.mu.Unlock()
 	}))
 
 	res := plan.Run(opts...)
-	enc.Encode(summarise(res, plan, cached))
-	flush()
+	close(stopFlush)
+	<-flushDone
+	// The run and the flusher are over: no writers are in flight, so the
+	// remaining shard tails and the summary line need no locking.
+	for _, sh := range shards {
+		if sh.buf.Len() > 0 {
+			bw.Write(sh.buf.Bytes())
+		}
+	}
+	json.NewEncoder(bw).Encode(summarise(res, plan, cached))
+	bw.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // handleCount runs the same pipeline as /match with the sink counting
@@ -319,7 +391,8 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		writePlanError(w, req, err)
 		return
 	}
-	res := plan.Run(s.options(r, req)...)
+	opts, _ := s.options(r, req)
+	res := plan.Run(opts...)
 	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
 	writeJSON(w, summarise(res, plan, cached))
 }

@@ -441,13 +441,14 @@ func TestDefaultWorkersClamped(t *testing.T) {
 	s := New(NewRegistry(), Config{MaxWorkers: 1})
 	r := httptest.NewRequest(http.MethodPost, "/match", nil)
 	var eo engine.Options
-	for _, o := range s.options(r, &hgio.MatchRequest{}) {
+	opts, workers := s.options(r, &hgio.MatchRequest{})
+	for _, o := range opts {
 		o(&eo)
 	}
 	// Omitted workers resolves to GOMAXPROCS (>= 1) and must then clamp
 	// to MaxWorkers; 0 reaching the engine would sidestep the cap.
-	if eo.Workers != 1 {
-		t.Fatalf("omitted workers resolved to %d, want clamp to MaxWorkers=1", eo.Workers)
+	if eo.Workers != 1 || workers != 1 {
+		t.Fatalf("omitted workers resolved to %d (returned %d), want clamp to MaxWorkers=1", eo.Workers, workers)
 	}
 }
 

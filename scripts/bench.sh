@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Runs the engine kernel benchmarks and rewrites BENCH_engine.json so every
+# PR leaves a perf trajectory to compare against. The "baseline_commit" /
+# "baseline" keys of the existing file (the pre-morsel-engine numbers cited
+# by README and docs/ARCHITECTURE.md) are carried over verbatim; diff the
+# "benchmarks" arrays across git history for the trajectory.
+set -e
+cd "$(dirname "$0")/.."
+
+out=BENCH_engine.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# Preserve the baseline block (from `"baseline_commit"` through the `],`
+# closing the `"baseline"` array) before overwriting.
+base=""
+if [ -f "$out" ]; then
+	base=$(awk '/^  "baseline_commit"/ { f = 1 } f { print } f && /^  \],$/ { exit }' "$out")
+fi
+
+go test -run '^$' \
+	-bench 'BenchmarkKernelQ3|BenchmarkFig8SingleThread/HGMatch|BenchmarkFig11Scheduling|BenchmarkAblationDeque|BenchmarkPublicAPI' \
+	-benchmem -count=3 -benchtime=50x . | tee "$tmp"
+
+{
+	printf '{\n'
+	printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go version)"
+	printf '  "workload": "q3 kernel: SB scale 0.4, best-of-8 q3 query, ~100k embeddings",\n'
+	if [ -n "$base" ]; then
+		printf '%s\n' "$base"
+	fi
+	printf '  "benchmarks": [\n'
+	grep -E '^Benchmark' "$tmp" | awk '{
+		gsub(/\\/, "\\\\"); gsub(/"/, "\\\"");
+		# collapse runs of whitespace so the lines diff cleanly
+		gsub(/[ \t]+/, " ");
+		printf "%s    \"%s\"", (NR > 1 ? ",\n" : ""), $0
+	} END { print "" }'
+	printf '  ]\n}\n'
+} > "$out"
+
+echo "wrote $out"
