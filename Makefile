@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/server/ .
+	$(GO) test -race ./...
 
 # bench runs the engine kernel benchmarks (-benchmem -count=3) and rewrites
 # BENCH_engine.json so future PRs have a perf trajectory to compare against.

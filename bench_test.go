@@ -11,6 +11,8 @@ package hgmatch_test
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -24,6 +26,7 @@ import (
 	"hgmatch/internal/datagen"
 	"hgmatch/internal/engine"
 	"hgmatch/internal/experiments"
+	"hgmatch/internal/hgio"
 	"hgmatch/internal/hypergraph"
 	"hgmatch/internal/querygen"
 	"hgmatch/internal/setops"
@@ -157,6 +160,68 @@ func BenchmarkKernelQ3(b *testing.B) {
 			allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
 			b.ReportMetric(allocs/float64(emb), "allocs/emb")
 			b.ReportMetric(float64(emb), "embeddings")
+		})
+	}
+}
+
+// BenchmarkCompile measures cold plan compilation: matching-order search
+// (Algorithm 3) plus per-step table compilation, the path every plan-cache
+// miss pays (the ~30x cold-vs-cache gap measured in PR 1 is exactly this
+// cost). The interned-signature index targets this number: signature
+// lookups are ID probes instead of per-call key-byte allocations.
+func BenchmarkCompile(b *testing.B) {
+	h, q := kernelWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.NewPlan(q, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Empty {
+			b.Fatal("workload plan is empty")
+		}
+	}
+}
+
+// BenchmarkLoadFile measures loading a binary data graph from disk: v1
+// replays the full offline build (sort, dedup hashing, partitioning,
+// posting-list inversion), v2 assembles the persisted CSR index from flat
+// arrays with linear validation — the hgserve startup and graph-reload
+// path.
+func BenchmarkLoadFile(b *testing.B) {
+	h, _ := kernelWorkload()
+	dir := b.TempDir()
+	v1 := filepath.Join(dir, "wl.v1.hgb")
+	v2 := filepath.Join(dir, "wl.v2.hgb")
+	f, err := os.Create(v1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := hgio.WriteBinaryV1(f, h); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := hgio.WriteBinaryFile(v2, h); err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name, path string
+	}{{"V1Rebuild", v1}, {"V2Assembled", v2}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := hgmatch.LoadFile(tc.path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.NumEdges() != h.NumEdges() || g.NumPartitions() != h.NumPartitions() {
+					b.Fatal("loaded graph differs from source")
+				}
+			}
 		})
 	}
 }

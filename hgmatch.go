@@ -60,11 +60,14 @@ type Signature = hypergraph.Signature
 // Stats summarises a hypergraph (the columns of the paper's Table II).
 type Stats = hypergraph.Stats
 
-// VertexID, EdgeID and Label alias the dense uint32 identifier spaces.
+// VertexID, EdgeID, Label and SigID alias the dense uint32 identifier
+// spaces. SigID identifies an interned hyperedge signature of one data
+// hypergraph (Hypergraph.LookupSig / SigIDOf).
 type (
 	VertexID = hypergraph.VertexID
 	EdgeID   = hypergraph.EdgeID
 	Label    = hypergraph.Label
+	SigID    = hypergraph.SigID
 )
 
 // Scheduler selects the parallel engine's scheduling strategy.
@@ -95,18 +98,30 @@ func FromEdges(labels []Label, edges [][]uint32) (*Hypergraph, error) {
 // ComputeStats gathers Table II-style statistics.
 func ComputeStats(h *Hypergraph) Stats { return hypergraph.ComputeStats(h) }
 
-// Load reads a hypergraph from r in the text format documented in
-// internal/hgio (lines: "v <label>", "e <v1> <v2> ...").
-func Load(r io.Reader) (*Hypergraph, error) { return hgio.Read(r) }
+// Load reads a hypergraph from r, sniffing the format: the text format
+// documented in internal/hgio (lines: "v <label>", "e <v1> <v2> ..."), or
+// either binary format version. Binary v2 files carry the built index and
+// load by flat-array assembly instead of replaying the offline build.
+func Load(r io.Reader) (*Hypergraph, error) { return hgio.ReadAuto(r) }
 
-// LoadFile reads a hypergraph from a file path.
-func LoadFile(path string) (*Hypergraph, error) { return hgio.ReadFile(path) }
+// LoadFile reads a hypergraph from a file path, sniffing the format like
+// Load.
+func LoadFile(path string) (*Hypergraph, error) { return hgio.ReadAutoFile(path) }
 
 // Save writes a hypergraph to w in the text format accepted by Load.
 func Save(w io.Writer, h *Hypergraph) error { return hgio.Write(w, h) }
 
-// SaveFile writes a hypergraph to a file path.
+// SaveFile writes a hypergraph to a file path in the text format.
 func SaveFile(path string, h *Hypergraph) error { return hgio.WriteFile(path, h) }
+
+// SaveBinary writes a hypergraph to w in binary format v2: the compact
+// varint graph encoding plus the persisted storage layer (partitioned
+// hyperedge tables and CSR inverted indexes), so a later Load skips the
+// offline index build entirely.
+func SaveBinary(w io.Writer, h *Hypergraph) error { return hgio.WriteBinary(w, h) }
+
+// SaveBinaryFile writes binary format v2 to a file path.
+func SaveBinaryFile(path string, h *Hypergraph) error { return hgio.WriteBinaryFile(path, h) }
 
 // Plan is a compiled execution plan for one (query, data) pair: the
 // matching order (paper Algorithm 3) plus per-step candidate-generation
@@ -325,4 +340,4 @@ func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
 var ErrNoDicts = hgio.ErrNoDicts
 
 // Version identifies this reproduction release.
-const Version = "1.2.0"
+const Version = "1.3.0"

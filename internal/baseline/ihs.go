@@ -46,15 +46,16 @@ func BuildCandidates(q, h *hypergraph.Hypergraph) [][]uint32 {
 		arityHist[v] = m
 		return m
 	}
-	// Per-data-vertex incident signature set, keyed canonically.
-	sigSet := make(map[uint32]map[string]bool)
-	sigsOf := func(v uint32) map[string]bool {
+	// Per-data-vertex incident signature set, as interned SigIDs — no
+	// canonical key bytes, one bit-set probe per check.
+	sigSet := make(map[uint32]map[hypergraph.SigID]bool)
+	sigsOf := func(v uint32) map[hypergraph.SigID]bool {
 		if s, ok := sigSet[v]; ok {
 			return s
 		}
-		s := make(map[string]bool)
+		s := make(map[hypergraph.SigID]bool)
 		for _, e := range h.Incident(v) {
-			s[string(h.SignatureOf(e).Key())] = true
+			s[h.SigIDOf(e)] = true
 		}
 		sigSet[v] = s
 		return s
@@ -66,10 +67,21 @@ func BuildCandidates(q, h *hypergraph.Hypergraph) [][]uint32 {
 		du := q.Degree(uu)
 		adjU := len(q.AdjacentVertices(uu))
 		histU := q.ArityHistogram(uu)
-		// Incident signatures of u.
-		var uSigs []string
+		// Incident signatures of u, interned against the data graph. A
+		// query signature absent from the data graph's table disqualifies
+		// every candidate of u immediately.
+		var uSigs []hypergraph.SigID
+		uImpossible := false
 		for _, e := range q.Incident(uu) {
-			uSigs = append(uSigs, string(hypergraph.SignatureOf(q.Edge(e), q.Labels()).Key()))
+			id, ok := h.LookupSig(hypergraph.SignatureOf(q.Edge(e), q.Labels()))
+			if !ok {
+				uImpossible = true
+				break
+			}
+			uSigs = append(uSigs, id)
+		}
+		if uImpossible {
+			continue
 		}
 
 	dataVertex:

@@ -21,21 +21,83 @@ import (
 // joined by Cartesian product by the caller.
 var ErrDisconnectedQuery = errors.New("core: query hypergraph is not connected")
 
+// querySigs holds, for every query hyperedge, S(e) and its interned
+// data-side SigID. It is computed exactly once per compile — one signature
+// build and one allocation-free hash probe per query hyperedge — and then
+// threaded through order search and step compilation, which from here on
+// deal in integer IDs only.
+type querySigs struct {
+	sigs []hypergraph.Signature
+	ids  []hypergraph.SigID // NoSigID when no data hyperedge carries the signature
+}
+
+// computeQuerySigs interns every query hyperedge signature against the
+// data graph's signature table. All signatures share one backing array.
+func computeQuerySigs(q, h *hypergraph.Hypergraph) querySigs {
+	n := q.NumEdges()
+	qs := querySigs{
+		sigs: make([]hypergraph.Signature, n),
+		ids:  make([]hypergraph.SigID, n),
+	}
+	backing := make(hypergraph.Signature, 0, q.TotalArity())
+	for e := 0; e < n; e++ {
+		start := len(backing)
+		backing = hypergraph.AppendSignature(backing, q.Edge(uint32(e)), q.Labels())
+		qs.sigs[e] = backing[start:len(backing):len(backing)]
+		if id, ok := h.LookupSig(qs.sigs[e]); ok {
+			qs.ids[e] = id
+		} else {
+			qs.ids[e] = hypergraph.NoSigID
+		}
+	}
+	return qs
+}
+
+// partFor resolves the data hyperedge table matching query hyperedge qe,
+// honouring edge labels when both graphs carry them (the footnote-2
+// extension); nil when no table matches.
+func (qs *querySigs) partFor(q, h *hypergraph.Hypergraph, qe hypergraph.EdgeID) *hypergraph.Partition {
+	id := qs.ids[qe]
+	if id == hypergraph.NoSigID {
+		return nil
+	}
+	if q.EdgeLabelled() && h.EdgeLabelled() {
+		return h.PartitionBySigLabelled(q.EdgeLabel(qe), id)
+	}
+	return h.PartitionBySig(id)
+}
+
+// cardinalities returns Card(e, H) per query hyperedge — an O(1)
+// table-length fetch per interned SigID (Definition V.2).
+func (qs *querySigs) cardinalities(h *hypergraph.Hypergraph) []int {
+	card := make([]int, len(qs.ids))
+	for e, id := range qs.ids {
+		if id != hypergraph.NoSigID {
+			card[e] = h.CardinalityBySig(id)
+		}
+	}
+	return card
+}
+
 // ComputeMatchingOrder implements Algorithm 3: it returns a permutation ϕ
 // of E(q) that starts at the query hyperedge of minimum cardinality in H
 // (Definition V.2) and greedily appends the connected hyperedge minimising
 // Card(e,H) / |Vϕ ∩ e|, i.e. preferring infrequent and highly connected
-// hyperedges early. Cardinality lookups are O(1) table-size fetches.
+// hyperedges early. Cardinality lookups are O(1) table-size fetches via
+// the interned signature table.
 //
 // Ties are broken by smaller edge ID so orders are deterministic.
 func ComputeMatchingOrder(q, h *hypergraph.Hypergraph) ([]hypergraph.EdgeID, error) {
+	qs := computeQuerySigs(q, h)
+	return orderFromCards(q, qs.cardinalities(h))
+}
+
+// orderFromCards runs Algorithm 3's greedy search over precomputed
+// cardinalities. The produced order is connected by construction.
+func orderFromCards(q *hypergraph.Hypergraph, card []int) ([]hypergraph.EdgeID, error) {
 	n := q.NumEdges()
 	if n == 0 {
 		return nil, errors.New("core: empty query")
-	}
-	card := make([]int, n)
-	for e := 0; e < n; e++ {
-		card[e] = h.Cardinality(hypergraph.SignatureOf(q.Edge(uint32(e)), q.Labels()))
 	}
 
 	// Line 1: starting hyperedge of minimal cardinality.
@@ -50,8 +112,11 @@ func ComputeMatchingOrder(q, h *hypergraph.Hypergraph) ([]hypergraph.EdgeID, err
 	inOrder := make([]bool, n)
 	inOrder[start] = true
 
-	// Vϕ: vertices covered by the partial order, as a sorted set.
-	vphi := append([]uint32(nil), q.Edge(start)...)
+	// Vϕ: vertices covered by the partial order, as a sorted set, with a
+	// double buffer so the per-step unions allocate nothing.
+	vphi := make([]uint32, 0, q.NumVertices())
+	scratch := make([]uint32, 0, q.NumVertices())
+	vphi = append(vphi, q.Edge(start)...)
 
 	// Lines 3-5: iteratively add the connected edge with the best
 	// cardinality-to-connectivity ratio.
@@ -75,7 +140,8 @@ func ComputeMatchingOrder(q, h *hypergraph.Hypergraph) ([]hypergraph.EdgeID, err
 		}
 		order = append(order, hypergraph.EdgeID(bestE))
 		inOrder[bestE] = true
-		vphi = setops.Union(vphi[:0:0], vphi, q.Edge(uint32(bestE)))
+		scratch = setops.Union(scratch[:0], vphi, q.Edge(uint32(bestE)))
+		vphi, scratch = scratch, vphi
 	}
 	return order, nil
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"hgmatch/internal/hypergraph"
 	"hgmatch/internal/setops"
@@ -53,6 +52,7 @@ type adjGroup struct {
 type step struct {
 	qe        hypergraph.EdgeID     // ϕ[i]
 	sig       hypergraph.Signature  // S(ϕ[i])
+	sigID     hypergraph.SigID      // interned data-side ID of S(ϕ[i]); NoSigID ⇒ no table
 	part      *hypergraph.Partition // data table with that signature (nil ⇒ no results)
 	adjGroups []adjGroup            // previous adjacent positions
 	nonAdjPos []int                 // previous non-adjacent positions (V_n_incdt)
@@ -70,7 +70,7 @@ type Plan struct {
 	Order []hypergraph.EdgeID
 
 	startPart *hypergraph.Partition
-	steps     []step // steps[i] compiled for order position i (steps[0] unused)
+	steps     []step // steps[i] compiled for order position i (steps[0] carries only sig/part)
 
 	// Empty is true when some query hyperedge has no data table with a
 	// matching signature: the result set is provably empty and execution
@@ -79,23 +79,48 @@ type Plan struct {
 }
 
 // NewPlan computes a matching order with Algorithm 3 and compiles the plan.
+// Query signatures are interned against the data graph exactly once and
+// shared between order search and step compilation, and the order produced
+// by Algorithm 3 is connected by construction, so no re-validation pass
+// runs — this is the plan-cache-miss path a serving layer pays cold.
 func NewPlan(q, h *hypergraph.Hypergraph) (*Plan, error) {
-	order, err := ComputeMatchingOrder(q, h)
+	if err := checkQuerySize(q); err != nil {
+		return nil, err
+	}
+	qs := computeQuerySigs(q, h)
+	order, err := orderFromCards(q, qs.cardinalities(h))
 	if err != nil {
 		return nil, err
 	}
-	return NewPlanWithOrder(q, h, order)
+	return compilePlan(q, h, order, &qs)
 }
 
 // NewPlanWithOrder compiles a plan for a caller-supplied connected matching
 // order (HGMatch works with any connected order, §V-A).
 func NewPlanWithOrder(q, h *hypergraph.Hypergraph, order []hypergraph.EdgeID) (*Plan, error) {
-	if q.NumEdges() > maxQueryEdges {
-		return nil, fmt.Errorf("core: query has %d hyperedges, max supported is %d", q.NumEdges(), maxQueryEdges)
+	if err := checkQuerySize(q); err != nil {
+		return nil, err
 	}
 	if err := ValidateOrder(q, order); err != nil {
 		return nil, err
 	}
+	qs := computeQuerySigs(q, h)
+	return compilePlan(q, h, order, &qs)
+}
+
+func checkQuerySize(q *hypergraph.Hypergraph) error {
+	if q.NumEdges() > maxQueryEdges {
+		return fmt.Errorf("core: query has %d hyperedges, max supported is %d", q.NumEdges(), maxQueryEdges)
+	}
+	return nil
+}
+
+// compilePlan builds the per-step candidate-generation and validation
+// tables for a validated connected order. All signature work arrives
+// pre-interned in qs; the remaining compile cost is the O(|E(q)|²)
+// adjacency classification and the profile tables, served out of a few
+// shared buffers.
+func compilePlan(q, h *hypergraph.Hypergraph, order []hypergraph.EdgeID, qs *querySigs) (*Plan, error) {
 	p := &Plan{
 		Query: q,
 		Data:  h,
@@ -103,34 +128,41 @@ func NewPlanWithOrder(q, h *hypergraph.Hypergraph, order []hypergraph.EdgeID) (*
 		steps: make([]step, len(order)),
 	}
 
-	lookupPart := func(qe hypergraph.EdgeID) *hypergraph.Partition {
-		sig := hypergraph.SignatureOf(q.Edge(qe), q.Labels())
-		if q.EdgeLabelled() && h.EdgeLabelled() {
-			return h.PartitionForLabelled(q.EdgeLabel(qe), sig)
-		}
-		return h.PartitionFor(sig)
+	p.steps[0] = step{
+		qe:    order[0],
+		sig:   qs.sigs[order[0]],
+		sigID: qs.ids[order[0]],
+		part:  qs.partFor(q, h, order[0]),
+		arity: q.Arity(order[0]),
 	}
-
-	p.startPart = lookupPart(order[0])
+	p.startPart = p.steps[0].part
 	if p.startPart == nil {
 		p.Empty = true
 	}
 
 	// prefixDeg[u] after processing position i = number of order-prefix
-	// edges containing u; prefixVerts = sorted V(q') of the prefix.
+	// edges containing u; prefixVerts = sorted V(q') of the prefix, with a
+	// double buffer so per-step unions allocate nothing.
 	prefixDeg := make([]uint8, q.NumVertices())
-	var prefixVerts []uint32
+	prefixVerts := make([]uint32, 0, q.NumVertices())
+	prefixScratch := make([]uint32, 0, q.NumVertices())
 	for _, u := range q.Edge(order[0]) {
 		prefixDeg[u] = 1
 	}
 	prefixVerts = append(prefixVerts, q.Edge(order[0])...)
 
+	// One backing array serves every step's wantProf; one shared scratch
+	// serves the pairwise overlap intersections.
+	profBacking := make([]profile, 0, q.TotalArity())
+	var sharedBuf []uint32
+
 	for i := 1; i < len(order); i++ {
 		qe := order[i]
 		st := step{
 			qe:    qe,
-			sig:   hypergraph.SignatureOf(q.Edge(qe), q.Labels()),
-			part:  lookupPart(qe),
+			sig:   qs.sigs[qe],
+			sigID: qs.ids[qe],
+			part:  qs.partFor(q, h, qe),
 			arity: q.Arity(qe),
 		}
 		if st.part == nil {
@@ -144,13 +176,13 @@ func NewPlanWithOrder(q, h *hypergraph.Hypergraph, order []hypergraph.EdgeID) (*
 		// iteration.
 		for j := 0; j < i; j++ {
 			ej := order[j]
-			shared := setops.Intersect(nil, q.Edge(ej), q.Edge(qe))
-			if len(shared) == 0 {
+			sharedBuf = setops.Intersect(sharedBuf[:0], q.Edge(ej), q.Edge(qe))
+			if len(sharedBuf) == 0 {
 				st.nonAdjPos = append(st.nonAdjPos, j)
 				continue
 			}
-			g := adjGroup{pos: j, us: make([]uReq, 0, len(shared))}
-			for _, u := range shared {
+			g := adjGroup{pos: j, us: make([]uReq, 0, len(sharedBuf))}
+			for _, u := range sharedBuf {
 				r := uReq{label: q.Label(u), prefDeg: prefixDeg[u]}
 				// Duplicate (label, degree) requirements within one group
 				// produce identical V_incdt sets and hence identical
@@ -175,10 +207,11 @@ func NewPlanWithOrder(q, h *hypergraph.Hypergraph, order []hypergraph.EdgeID) (*
 		for _, u := range q.Edge(qe) {
 			prefixDeg[u]++
 		}
-		prefixVerts = setops.Union(prefixVerts[:0:0], prefixVerts, q.Edge(qe))
+		prefixScratch = setops.Union(prefixScratch[:0], prefixVerts, q.Edge(qe))
+		prefixVerts, prefixScratch = prefixScratch, prefixVerts
 		st.qVerts = len(prefixVerts)
 
-		st.wantProf = make([]profile, 0, st.arity)
+		profStart := len(profBacking)
 		for _, u := range q.Edge(qe) {
 			var mask uint64
 			for j := 0; j <= i; j++ {
@@ -186,9 +219,10 @@ func NewPlanWithOrder(q, h *hypergraph.Hypergraph, order []hypergraph.EdgeID) (*
 					mask |= 1 << uint(j)
 				}
 			}
-			st.wantProf = append(st.wantProf, profile{label: q.Label(u), mask: mask})
+			profBacking = append(profBacking, profile{label: q.Label(u), mask: mask})
 		}
-		sort.Slice(st.wantProf, func(a, b int) bool { return profileLess(st.wantProf[a], st.wantProf[b]) })
+		st.wantProf = profBacking[profStart:len(profBacking):len(profBacking)]
+		insertionSortProfiles(st.wantProf)
 
 		p.steps[i] = st
 	}
@@ -221,8 +255,11 @@ func (p *Plan) TaskBytes() int {
 
 // StepSignature exposes S(ϕ[i]) for diagnostics.
 func (p *Plan) StepSignature(i int) hypergraph.Signature {
-	if i == 0 {
-		return hypergraph.SignatureOf(p.Query.Edge(p.Order[0]), p.Query.Labels())
-	}
 	return p.steps[i].sig
+}
+
+// StepSigID exposes the interned data-side signature ID of ϕ[i]
+// (hypergraph.NoSigID when the data graph has no matching table).
+func (p *Plan) StepSigID(i int) hypergraph.SigID {
+	return p.steps[i].sigID
 }

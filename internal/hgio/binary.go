@@ -10,33 +10,101 @@ import (
 	"hgmatch/internal/hypergraph"
 )
 
-// Binary format: a compact varint encoding for large hypergraphs where the
+// Binary formats: compact varint encodings for large hypergraphs where the
 // text format's parse cost matters (the paper's AR stand-in is ~4M
-// hyperedges at full scale). Layout:
+// hyperedges at full scale).
 //
-//	magic "HGB1"
+// Version 1 ("HGB1") stores only the raw graph; loading replays the full
+// offline build (sort, dedup, partition, invert). Version 2 ("HGB2")
+// additionally persists the built storage layer — the partitioned
+// hyperedge tables and their CSR inverted indexes — so loading assembles
+// the flat arrays directly (hypergraph.Assemble) instead of re-inverting
+// postings. Both versions share the header and edge sections:
+//
+//	magic "HGB1" / "HGB2"
 //	uvarint numVertices, numEdges, numDictEntries, flags
 //	dict entries: uvarint len + bytes (vertex label names, index = Label)
 //	vertex labels: uvarint per vertex
 //	per edge: [uvarint edgeLabel+1 when flagEdgeLabels] uvarint arity,
 //	          then delta-encoded sorted vertex IDs (uvarint first,
-//	          uvarint gaps)
+//	          uvarint gaps-1)
 //
-// Edge labels use +1 so NoEdgeLabel encodes as 0.
-const binaryMagic = "HGB1"
+// Version 2 appends the index section:
+//
+//	uvarint numPartitions
+//	per partition (canonical order):
+//	  [uvarint edgeLabel+1 when flagEdgeLabels]
+//	  uvarint numEdges + delta-encoded sorted member edge IDs
+//	  uvarint numVerts + delta-encoded sorted CSR vertex dictionary
+//	  per vertex: uvarint postingLen + delta-encoded posting edge IDs
+//
+// Edge labels use +1 so NoEdgeLabel encodes as 0. WriteBinary emits v2;
+// v1 files continue to load (via rebuild), and WriteBinaryV1 still writes
+// them for compatibility.
+const (
+	binaryMagicV1 = "HGB1"
+	binaryMagicV2 = "HGB2"
+	binaryMagic   = binaryMagicV1 // historical name; used for sniff length
+)
 
 const flagEdgeLabels = 1
 
-// WriteBinary serialises h in the binary format.
-func WriteBinary(w io.Writer, h *hypergraph.Hypergraph) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
-		return err
+const sizeSanity = 1 << 31
+
+// preallocEntries caps how many slice entries any reader preallocates from
+// an untrusted header count before payload actually arrives: a corrupt
+// count must produce a parse error, never a multi-GiB allocation (which
+// the runtime treats as fatal, not recoverable). Beyond the cap, append
+// grows slices only as bytes are really decoded.
+const preallocEntries = 1 << 16
+
+func preallocCap(n uint64) int {
+	if n > preallocEntries {
+		return preallocEntries
 	}
-	var buf [binary.MaxVarintLen64]byte
-	putUv := func(x uint64) error {
-		n := binary.PutUvarint(buf[:], x)
-		_, err := bw.Write(buf[:n])
+	return int(n)
+}
+
+// binWriter wraps the shared varint plumbing of both format versions.
+type binWriter struct {
+	bw  *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (w *binWriter) uv(x uint64) error {
+	n := binary.PutUvarint(w.buf[:], x)
+	_, err := w.bw.Write(w.buf[:n])
+	return err
+}
+
+// deltaSet writes a strictly increasing uint32 set as first + (gap-1)s.
+func (w *binWriter) deltaSet(s []uint32) error {
+	prev := uint64(0)
+	for i, v := range s {
+		x := uint64(v)
+		if i > 0 {
+			x -= prev + 1
+		}
+		if err := w.uv(x); err != nil {
+			return err
+		}
+		prev = uint64(v)
+	}
+	return nil
+}
+
+func (w *binWriter) edgeLabel(el hypergraph.Label) error {
+	enc := uint64(0)
+	if el != hypergraph.NoEdgeLabel {
+		enc = uint64(el) + 1
+	}
+	return w.uv(enc)
+}
+
+// writeCommon emits the header, dictionary, vertex-label and edge sections
+// shared by both versions.
+func (w *binWriter) writeCommon(magic string, h *hypergraph.Hypergraph) error {
+	if _, err := w.bw.WriteString(magic); err != nil {
 		return err
 	}
 	flags := uint64(0)
@@ -48,99 +116,185 @@ func WriteBinary(w io.Writer, h *hypergraph.Hypergraph) error {
 		dictLen = d.Len()
 	}
 	for _, x := range []uint64{uint64(h.NumVertices()), uint64(h.NumEdges()), uint64(dictLen), flags} {
-		if err := putUv(x); err != nil {
+		if err := w.uv(x); err != nil {
 			return err
 		}
 	}
 	if d := h.Dict(); d != nil {
 		for l := 0; l < d.Len(); l++ {
 			name := d.Name(hypergraph.Label(l))
-			if err := putUv(uint64(len(name))); err != nil {
+			if err := w.uv(uint64(len(name))); err != nil {
 				return err
 			}
-			if _, err := bw.WriteString(name); err != nil {
+			if _, err := w.bw.WriteString(name); err != nil {
 				return err
 			}
 		}
 	}
 	for v := 0; v < h.NumVertices(); v++ {
-		if err := putUv(uint64(h.Label(uint32(v)))); err != nil {
+		if err := w.uv(uint64(h.Label(uint32(v)))); err != nil {
 			return err
 		}
 	}
 	for e := 0; e < h.NumEdges(); e++ {
 		id := hypergraph.EdgeID(e)
 		if h.EdgeLabelled() {
-			el := h.EdgeLabel(id)
-			enc := uint64(0)
-			if el != hypergraph.NoEdgeLabel {
-				enc = uint64(el) + 1
-			}
-			if err := putUv(enc); err != nil {
+			if err := w.edgeLabel(h.EdgeLabel(id)); err != nil {
 				return err
 			}
 		}
 		vs := h.Edge(id)
-		if err := putUv(uint64(len(vs))); err != nil {
+		if err := w.uv(uint64(len(vs))); err != nil {
 			return err
 		}
-		prev := uint64(0)
-		for i, v := range vs {
-			x := uint64(v)
-			if i > 0 {
-				x -= prev + 1 // strictly increasing: gap-1 encoding
-			}
-			if err := putUv(x); err != nil {
-				return err
-			}
-			prev = uint64(v)
+		if err := w.deltaSet(vs); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// ReadBinary parses the binary format.
-func ReadBinary(r io.Reader) (*hypergraph.Hypergraph, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("hgio: reading magic: %w", err)
+// WriteBinary serialises h in binary format v2, index included.
+func WriteBinary(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := &binWriter{bw: bufio.NewWriter(w)}
+	if err := bw.writeCommon(binaryMagicV2, h); err != nil {
+		return err
 	}
-	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("hgio: bad magic %q", magic)
+	if err := bw.uv(uint64(h.NumPartitions())); err != nil {
+		return err
 	}
-	getUv := func(what string) (uint64, error) {
-		x, err := binary.ReadUvarint(br)
-		if err != nil {
-			return 0, fmt.Errorf("hgio: reading %s: %w", what, err)
+	for pi := 0; pi < h.NumPartitions(); pi++ {
+		p := h.Partition(pi)
+		if h.EdgeLabelled() {
+			if err := bw.edgeLabel(p.EdgeLabel); err != nil {
+				return err
+			}
 		}
-		return x, nil
+		if err := bw.uv(uint64(p.Len())); err != nil {
+			return err
+		}
+		if err := bw.deltaSet(p.Edges); err != nil {
+			return err
+		}
+		verts := p.PostingVertices()
+		if err := bw.uv(uint64(len(verts))); err != nil {
+			return err
+		}
+		if err := bw.deltaSet(verts); err != nil {
+			return err
+		}
+		for i := range verts {
+			l := p.PostingsAt(i)
+			if err := bw.uv(uint64(len(l))); err != nil {
+				return err
+			}
+			if err := bw.deltaSet(l); err != nil {
+				return err
+			}
+		}
 	}
-	nv, err := getUv("vertex count")
+	return bw.bw.Flush()
+}
+
+// WriteBinaryV1 serialises h in the legacy v1 format (no index section);
+// v1 files rebuild their index on load.
+func WriteBinaryV1(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := &binWriter{bw: bufio.NewWriter(w)}
+	if err := bw.writeCommon(binaryMagicV1, h); err != nil {
+		return err
+	}
+	return bw.bw.Flush()
+}
+
+// binReader wraps the shared decoding plumbing.
+type binReader struct {
+	br *bufio.Reader
+}
+
+func (r *binReader) uv(what string) (uint64, error) {
+	x, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, fmt.Errorf("hgio: reading %s: %w", what, err)
+	}
+	return x, nil
+}
+
+// deltaSet reads n strictly increasing uint32s below limit.
+func (r *binReader) deltaSet(n uint64, limit uint64, what string) ([]uint32, error) {
+	return r.deltaSetInto(make([]uint32, 0, preallocCap(n)), n, limit, what)
+}
+
+// deltaSetInto appends n strictly increasing uint32s below limit to dst,
+// so batched decodes (CSR posting lists) reuse one backing array.
+func (r *binReader) deltaSetInto(dst []uint32, n uint64, limit uint64, what string) ([]uint32, error) {
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		x, err := r.uv(what)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			x += prev + 1
+		}
+		if x >= limit {
+			return nil, fmt.Errorf("hgio: %s %d out of range %d", what, x, limit)
+		}
+		dst = append(dst, uint32(x))
+		prev = x
+	}
+	return dst, nil
+}
+
+func (r *binReader) edgeLabel() (hypergraph.Label, error) {
+	enc, err := r.uv("edge label")
+	if err != nil {
+		return 0, err
+	}
+	if enc == 0 {
+		return hypergraph.NoEdgeLabel, nil
+	}
+	if enc-1 >= uint64(hypergraph.NoEdgeLabel) {
+		return 0, fmt.Errorf("hgio: implausible edge label %d", enc-1)
+	}
+	return hypergraph.Label(enc - 1), nil
+}
+
+// commonSections holds the decoded header, dictionary, labels and edges
+// shared by both versions.
+type commonSections struct {
+	nv, ne     uint64
+	hasEL      bool
+	dict       *hypergraph.Dict
+	labels     []hypergraph.Label
+	edgeLabels []hypergraph.Label // nil when !hasEL
+	edges      [][]uint32
+}
+
+func (r *binReader) readCommon() (*commonSections, error) {
+	nv, err := r.uv("vertex count")
 	if err != nil {
 		return nil, err
 	}
-	ne, err := getUv("edge count")
+	ne, err := r.uv("edge count")
 	if err != nil {
 		return nil, err
 	}
-	nd, err := getUv("dict size")
+	nd, err := r.uv("dict size")
 	if err != nil {
 		return nil, err
 	}
-	flags, err := getUv("flags")
+	flags, err := r.uv("flags")
 	if err != nil {
 		return nil, err
 	}
-	const sanity = 1 << 31
-	if nv > sanity || ne > sanity || nd > sanity {
+	if nv > sizeSanity || ne > sizeSanity || nd > sizeSanity {
 		return nil, fmt.Errorf("hgio: implausible sizes v=%d e=%d d=%d", nv, ne, nd)
 	}
-	var dict *hypergraph.Dict
+	c := &commonSections{nv: nv, ne: ne, hasEL: flags&flagEdgeLabels != 0}
 	if nd > 0 {
-		dict = hypergraph.NewDict()
+		c.dict = hypergraph.NewDict()
 		for i := uint64(0); i < nd; i++ {
-			l, err := getUv("dict entry length")
+			l, err := r.uv("dict entry length")
 			if err != nil {
 				return nil, err
 			}
@@ -148,62 +302,172 @@ func ReadBinary(r io.Reader) (*hypergraph.Hypergraph, error) {
 				return nil, fmt.Errorf("hgio: implausible label length %d", l)
 			}
 			name := make([]byte, l)
-			if _, err := io.ReadFull(br, name); err != nil {
+			if _, err := io.ReadFull(r.br, name); err != nil {
 				return nil, fmt.Errorf("hgio: reading dict entry: %w", err)
 			}
-			dict.Intern(string(name))
+			c.dict.Intern(string(name))
 		}
 	}
-	b := hypergraph.NewBuilder().WithDicts(dict, nil)
+	c.labels = make([]hypergraph.Label, 0, preallocCap(nv))
 	for v := uint64(0); v < nv; v++ {
-		l, err := getUv("vertex label")
+		l, err := r.uv("vertex label")
 		if err != nil {
 			return nil, err
 		}
-		b.AddVertex(hypergraph.Label(l))
+		c.labels = append(c.labels, hypergraph.Label(l))
 	}
-	hasEL := flags&flagEdgeLabels != 0
+	if c.hasEL {
+		c.edgeLabels = make([]hypergraph.Label, 0, preallocCap(ne))
+	}
+	c.edges = make([][]uint32, 0, preallocCap(ne))
 	for e := uint64(0); e < ne; e++ {
-		el := hypergraph.NoEdgeLabel
-		if hasEL {
-			enc, err := getUv("edge label")
+		if c.hasEL {
+			el, err := r.edgeLabel()
 			if err != nil {
 				return nil, err
 			}
-			if enc > 0 {
-				el = hypergraph.Label(enc - 1)
-			}
+			c.edgeLabels = append(c.edgeLabels, el)
 		}
-		arity, err := getUv("arity")
+		arity, err := r.uv("arity")
 		if err != nil {
 			return nil, err
 		}
 		if arity > nv {
 			return nil, fmt.Errorf("hgio: edge %d arity %d exceeds vertex count", e, arity)
 		}
-		vs := make([]uint32, arity)
-		prev := uint64(0)
-		for i := range vs {
-			x, err := getUv("vertex id")
-			if err != nil {
-				return nil, err
-			}
-			if i > 0 {
-				x += prev + 1
-			}
-			if x >= nv {
-				return nil, fmt.Errorf("hgio: edge %d references vertex %d of %d", e, x, nv)
-			}
-			vs[i] = uint32(x)
-			prev = x
+		vs, err := r.deltaSet(arity, nv, "vertex id")
+		if err != nil {
+			return nil, err
 		}
-		if hasEL && el != hypergraph.NoEdgeLabel {
-			b.AddLabelledEdge(el, vs...)
+		c.edges = append(c.edges, vs)
+	}
+	return c, nil
+}
+
+// ReadBinary parses either binary format version, dispatching on the magic.
+func ReadBinary(rd io.Reader) (*hypergraph.Hypergraph, error) {
+	br := bufio.NewReader(rd)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("hgio: reading magic: %w", err)
+	}
+	r := &binReader{br: br}
+	switch string(magic) {
+	case binaryMagicV1:
+		return readBinaryV1(r)
+	case binaryMagicV2:
+		return readBinaryV2(r)
+	}
+	return nil, fmt.Errorf("hgio: bad magic %q", magic)
+}
+
+// readBinaryV1 rebuilds the index from the raw graph via the Builder — the
+// full offline preprocessing replays on every load.
+func readBinaryV1(r *binReader) (*hypergraph.Hypergraph, error) {
+	c, err := r.readCommon()
+	if err != nil {
+		return nil, err
+	}
+	b := hypergraph.NewBuilder().WithDicts(c.dict, nil)
+	for _, l := range c.labels {
+		b.AddVertex(l)
+	}
+	for e, vs := range c.edges {
+		if c.hasEL && c.edgeLabels[e] != hypergraph.NoEdgeLabel {
+			b.AddLabelledEdge(c.edgeLabels[e], vs...)
 		} else {
 			b.AddEdge(vs...)
 		}
 	}
 	return b.Build()
+}
+
+// readBinaryV2 decodes the persisted index section and assembles the
+// hypergraph directly from the flat arrays — no re-sorting, no dedup
+// hashing, no posting-list inversion.
+func readBinaryV2(r *binReader) (*hypergraph.Hypergraph, error) {
+	c, err := r.readCommon()
+	if err != nil {
+		return nil, err
+	}
+	np, err := r.uv("partition count")
+	if err != nil {
+		return nil, err
+	}
+	if np > c.ne {
+		return nil, fmt.Errorf("hgio: %d partitions for %d edges", np, c.ne)
+	}
+	parts := make([]hypergraph.RawPartition, 0, preallocCap(np))
+	// Partitions must claim disjoint edges (re-checked structurally by
+	// Assemble); enforcing it while decoding bounds the total posting
+	// capacity allocated across ALL partitions by Σ a(e) of the actually
+	// parsed edges — a malicious file cannot multiply one big edge into
+	// many partitions' preallocations.
+	claimed := make([]bool, c.ne)
+	for pi := uint64(0); pi < np; pi++ {
+		parts = append(parts, hypergraph.RawPartition{})
+		rp := &parts[len(parts)-1]
+		rp.EdgeLabel = hypergraph.NoEdgeLabel
+		if c.hasEL {
+			el, err := r.edgeLabel()
+			if err != nil {
+				return nil, err
+			}
+			rp.EdgeLabel = el
+		}
+		npe, err := r.uv("partition edge count")
+		if err != nil {
+			return nil, err
+		}
+		if npe == 0 || npe > c.ne {
+			return nil, fmt.Errorf("hgio: partition %d has implausible edge count %d", pi, npe)
+		}
+		if rp.Edges, err = r.deltaSet(npe, c.ne, "partition edge id"); err != nil {
+			return nil, err
+		}
+		// The posting arrays of a valid index hold exactly one entry per
+		// (vertex, member edge) incidence; bound the decode by that total
+		// so corrupt counts cannot balloon allocations.
+		occ := uint64(0)
+		for _, e := range rp.Edges {
+			if claimed[e] {
+				return nil, fmt.Errorf("hgio: edge %d claimed by two partitions", e)
+			}
+			claimed[e] = true
+			occ += uint64(len(c.edges[e]))
+		}
+		nverts, err := r.uv("partition vertex count")
+		if err != nil {
+			return nil, err
+		}
+		if nverts == 0 || nverts > occ || nverts > c.nv {
+			return nil, fmt.Errorf("hgio: partition %d has implausible vertex count %d", pi, nverts)
+		}
+		if rp.Verts, err = r.deltaSet(nverts, c.nv, "CSR vertex"); err != nil {
+			return nil, err
+		}
+		rp.Offsets = make([]uint32, 0, nverts+1)
+		rp.Offsets = append(rp.Offsets, 0)
+		rp.Posts = make([]hypergraph.EdgeID, 0, preallocCap(occ))
+		for range rp.Verts {
+			plen, err := r.uv("posting length")
+			if err != nil {
+				return nil, err
+			}
+			if plen == 0 || uint64(len(rp.Posts))+plen > occ {
+				return nil, fmt.Errorf("hgio: partition %d posting lists overflow %d incidences", pi, occ)
+			}
+			if rp.Posts, err = r.deltaSetInto(rp.Posts, plen, c.ne, "posting edge id"); err != nil {
+				return nil, err
+			}
+			rp.Offsets = append(rp.Offsets, uint32(len(rp.Posts)))
+		}
+	}
+	h, err := hypergraph.Assemble(c.labels, c.edges, c.edgeLabels, parts, c.dict, nil)
+	if err != nil {
+		return nil, fmt.Errorf("hgio: %w", err)
+	}
+	return h, nil
 }
 
 // WriteBinaryFile writes the binary format to a path.
@@ -233,7 +497,7 @@ func ReadBinaryFile(path string) (*hypergraph.Hypergraph, error) {
 func ReadAuto(r io.Reader) (*hypergraph.Hypergraph, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(binaryMagic))
-	if err == nil && string(head) == binaryMagic {
+	if err == nil && (string(head) == binaryMagicV1 || string(head) == binaryMagicV2) {
 		return ReadBinary(br)
 	}
 	return Read(br)

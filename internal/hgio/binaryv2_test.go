@@ -1,0 +1,176 @@
+package hgio_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hgmatch/internal/hgio"
+	"hgmatch/internal/hgtest"
+	"hgmatch/internal/hypergraph"
+)
+
+// indexEqual checks the two graphs carry identical storage-layer indexes:
+// interned signature counts, partition shapes and every posting view.
+func indexEqual(t *testing.T, a, b *hypergraph.Hypergraph) {
+	t.Helper()
+	if a.NumSignatures() != b.NumSignatures() {
+		t.Fatalf("signature counts differ: %d vs %d", a.NumSignatures(), b.NumSignatures())
+	}
+	if a.NumPartitions() != b.NumPartitions() {
+		t.Fatalf("partition counts differ: %d vs %d", a.NumPartitions(), b.NumPartitions())
+	}
+	for pi := 0; pi < a.NumPartitions(); pi++ {
+		pa, pb := a.Partition(pi), b.Partition(pi)
+		if !pa.Sig.Equal(pb.Sig) || pa.EdgeLabel != pb.EdgeLabel || pa.Len() != pb.Len() {
+			t.Fatalf("partition %d headers differ", pi)
+		}
+		va, vb := pa.PostingVertices(), pb.PostingVertices()
+		if len(va) != len(vb) {
+			t.Fatalf("partition %d vertex dictionaries differ", pi)
+		}
+		for i, v := range va {
+			if v != vb[i] {
+				t.Fatalf("partition %d vertex dictionaries differ at %d", pi, i)
+			}
+			la, lb := pa.PostingsAt(i), pb.PostingsAt(i)
+			if len(la) != len(lb) {
+				t.Fatalf("partition %d postings of %d differ", pi, v)
+			}
+			for j := range la {
+				if la[j] != lb[j] {
+					t.Fatalf("partition %d postings of %d differ", pi, v)
+				}
+			}
+		}
+	}
+}
+
+// TestBinaryV2RoundTripIndex: writing v2 and reading it back must
+// reproduce the exact storage layer, byte-deterministically.
+func TestBinaryV2RoundTripIndex(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+			NumVertices: 40, NumEdges: 80, NumLabels: 6, MaxArity: 7,
+		})
+		var buf bytes.Buffer
+		if err := hgio.WriteBinary(&buf, h); err != nil {
+			t.Fatal(err)
+		}
+		h2, err := hgio.ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, h, h2)
+		indexEqual(t, h, h2)
+		if err := h2.Validate(); err != nil {
+			t.Fatalf("seed %d: v2-loaded graph invalid: %v", seed, err)
+		}
+		var buf2 bytes.Buffer
+		if err := hgio.WriteBinary(&buf2, h2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("seed %d: v2 write-read-write not byte-stable", seed)
+		}
+	}
+}
+
+// TestBinaryV1ToV2Migration: a v1 file loads via rebuild into the same
+// graph and index a v2 file carries, and re-encoding it as v2 is
+// deterministic.
+func TestBinaryV1ToV2Migration(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+		NumVertices: 30, NumEdges: 60, NumLabels: 5, MaxArity: 6,
+	})
+	var v1, v2 bytes.Buffer
+	if err := hgio.WriteBinaryV1(&v1, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := hgio.WriteBinary(&v2, h); err != nil {
+		t.Fatal(err)
+	}
+	fromV1, err := hgio.ReadBinary(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV2, err := hgio.ReadBinary(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, fromV1, fromV2)
+	indexEqual(t, fromV1, fromV2)
+	// Migrating the v1 load to v2 reproduces the direct v2 encoding.
+	var migrated bytes.Buffer
+	if err := hgio.WriteBinary(&migrated, fromV1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(migrated.Bytes(), v2.Bytes()) {
+		t.Fatal("v1→v2 migration does not reproduce the direct v2 encoding")
+	}
+}
+
+// TestBinaryGoldens pins the on-disk encodings: the committed v1 and v2
+// files must load to the same graph as the in-code fixture, and the
+// fixture must re-encode byte-identically — so format changes that would
+// silently orphan existing files fail here first.
+func TestBinaryGoldens(t *testing.T) {
+	h := hgtest.Fig1Data()
+	for _, g := range []struct {
+		path  string
+		write func(*bytes.Buffer) error
+	}{
+		{"testdata/fig1.v1.hgb", func(b *bytes.Buffer) error { return hgio.WriteBinaryV1(b, h) }},
+		{"testdata/fig1.v2.hgb", func(b *bytes.Buffer) error { return hgio.WriteBinary(b, h) }},
+	} {
+		want, err := os.ReadFile(g.path)
+		if err != nil {
+			t.Fatalf("missing golden %s: %v (regenerate with go generate-style helper in this test)", g.path, err)
+		}
+		var got bytes.Buffer
+		if err := g.write(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s: encoding drifted from committed golden", g.path)
+		}
+		loaded, err := hgio.ReadBinary(bytes.NewReader(want))
+		if err != nil {
+			t.Fatalf("%s: %v", g.path, err)
+		}
+		graphsEqual(t, h, loaded)
+		indexEqual(t, h, loaded)
+	}
+	// The two goldens must load identically — hgserve serving either file
+	// must see the same graph (the /match equivalence test in
+	// internal/server builds on this).
+	v1g, err := hgio.ReadBinaryFile("testdata/fig1.v1.hgb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2g, err := hgio.ReadBinaryFile("testdata/fig1.v2.hgb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, v1g, v2g)
+	indexEqual(t, v1g, v2g)
+}
+
+func TestBinaryV2FileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.hgb")
+	h := hgtest.Fig1Data()
+	if err := hgio.WriteBinaryFile(path, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := hgio.ReadAutoFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, h, h2)
+	indexEqual(t, h, h2)
+}

@@ -2,6 +2,7 @@ package hgio_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -11,13 +12,16 @@ import (
 )
 
 // TestBinaryReaderNeverPanics feeds random byte soup (with and without a
-// valid magic prefix) to the binary reader: it must return an error or a
-// valid graph, never panic or hang.
+// valid magic prefix, both format versions) to the binary reader: it must
+// return an error or a valid graph, never panic or hang.
 func TestBinaryReaderNeverPanics(t *testing.T) {
-	f := func(raw []byte, withMagic bool) bool {
+	f := func(raw []byte, version uint8) bool {
 		input := raw
-		if withMagic {
+		switch version % 3 {
+		case 1:
 			input = append([]byte("HGB1"), raw...)
+		case 2:
+			input = append([]byte("HGB2"), raw...)
 		}
 		h, err := hgio.ReadBinary(bytes.NewReader(input))
 		if err != nil {
@@ -25,34 +29,104 @@ func TestBinaryReaderNeverPanics(t *testing.T) {
 		}
 		return h.Validate() == nil
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 750}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// TestBinaryBitFlips: single-byte corruptions of a real file must never
-// panic, and must either error out or decode to a structurally valid
-// graph.
+// TestBinaryBitFlips: single-byte corruptions of real v1 and v2 files must
+// never panic, and must either error out or decode to a structurally valid
+// graph. For v2 this is the malformed-CSR gate: flips land in the offset
+// tables and posting arrays as often as in the graph sections, and
+// Assemble must reject every inconsistent index.
 func TestBinaryBitFlips(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	h := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
 		NumVertices: 30, NumEdges: 50, NumLabels: 4, MaxArity: 5,
 	})
+	var v1, v2 bytes.Buffer
+	if err := hgio.WriteBinaryV1(&v1, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := hgio.WriteBinary(&v2, h); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{{"v1", v1.Bytes()}, {"v2", v2.Bytes()}} {
+		t.Run(f.name, func(t *testing.T) {
+			for trial := 0; trial < 300; trial++ {
+				corrupted := append([]byte(nil), f.data...)
+				i := rng.Intn(len(corrupted))
+				corrupted[i] ^= byte(1 << rng.Intn(8))
+				got, err := hgio.ReadBinary(bytes.NewReader(corrupted))
+				if err != nil {
+					continue
+				}
+				if verr := got.Validate(); verr != nil {
+					t.Fatalf("trial %d (byte %d): decoded structurally invalid graph: %v", trial, i, verr)
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryHeaderCountsDoNotPreallocate: a tiny file whose header claims
+// billions of vertices/edges must fail with a parse error, not attempt a
+// multi-GiB up-front allocation (which would be a fatal runtime OOM, not
+// a recoverable error).
+func TestBinaryHeaderCountsDoNotPreallocate(t *testing.T) {
+	huge := make([]byte, 0, 32)
+	huge = append(huge, "HGB1"...)
+	huge = binary.AppendUvarint(huge, 1)     // numVertices
+	huge = binary.AppendUvarint(huge, 1<<30) // numEdges: claims 2^30, no payload
+	huge = binary.AppendUvarint(huge, 0)     // dict
+	huge = binary.AppendUvarint(huge, 0)     // flags
+	huge = binary.AppendUvarint(huge, 0)     // the single vertex label
+	for _, magic := range []string{"HGB1", "HGB2"} {
+		in := append([]byte(magic), huge[4:]...)
+		if _, err := hgio.ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: inflated edge count accepted", magic)
+		}
+	}
+}
+
+// TestBinaryV2RejectsSharedPartitionEdges: a v2 index section in which two
+// partitions claim the same edge must error during decode — before the
+// duplicated claim can multiply posting-array preallocations.
+func TestBinaryV2RejectsSharedPartitionEdges(t *testing.T) {
+	b := []byte("HGB2")
+	for _, x := range []uint64{
+		2, 2, 0, 0, // nv=2, ne=2, dict=0, flags=0
+		0, 0, // vertex labels
+		2, 0, 0, // edge 0: arity 2, verts {0,1}
+		2, 0, 0, // edge 1: arity 2, verts {0,1}
+		2,    // two partitions
+		1, 0, // partition 0 claims edge 0
+		1, 0, // ...CSR vertex dictionary: {0}
+		1, 0, // ...vertex 0's posting list: {edge 0}
+		1, 0, // partition 1 claims edge 0 AGAIN -> must error here
+	} {
+		b = binary.AppendUvarint(b, x)
+	}
+	if _, err := hgio.ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("v2 file with an edge claimed by two partitions accepted")
+	}
+}
+
+// TestBinaryV2TruncationsNeverPanic walks every prefix of a v2 file —
+// cutting through the index section included — and requires an error.
+func TestBinaryV2TruncationsNeverPanic(t *testing.T) {
+	h := hgtest.Fig1Data()
 	var buf bytes.Buffer
 	if err := hgio.WriteBinary(&buf, h); err != nil {
 		t.Fatal(err)
 	}
-	orig := buf.Bytes()
-	for trial := 0; trial < 300; trial++ {
-		corrupted := append([]byte(nil), orig...)
-		i := rng.Intn(len(corrupted))
-		corrupted[i] ^= byte(1 << rng.Intn(8))
-		got, err := hgio.ReadBinary(bytes.NewReader(corrupted))
-		if err != nil {
-			continue
-		}
-		if verr := got.Validate(); verr != nil {
-			t.Fatalf("trial %d (byte %d): decoded structurally invalid graph: %v", trial, i, verr)
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := hgio.ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
 		}
 	}
 }

@@ -80,32 +80,38 @@ type MatchSummary struct {
 
 // GraphInfo describes one loaded data hypergraph (GET /graphs and
 // GET /graphs/{name}/stats). The stat fields are the paper's Table II
-// columns as computed by hypergraph.ComputeStats.
+// columns as computed by hypergraph.ComputeStats, plus the storage-layer
+// index shape: interned signature count, CSR inverted-index footprint
+// (index_bytes) and the signature hash table's footprint.
 type GraphInfo struct {
-	Name        string  `json:"name"`
-	NumVertices int     `json:"num_vertices"`
-	NumEdges    int     `json:"num_edges"`
-	NumLabels   int     `json:"num_labels"`
-	MaxArity    int     `json:"max_arity"`
-	AvgArity    float64 `json:"avg_arity"`
-	Partitions  int     `json:"partitions"`
-	IndexBytes  int     `json:"index_bytes"`
-	GraphBytes  int     `json:"graph_bytes"`
+	Name          string  `json:"name"`
+	NumVertices   int     `json:"num_vertices"`
+	NumEdges      int     `json:"num_edges"`
+	NumLabels     int     `json:"num_labels"`
+	MaxArity      int     `json:"max_arity"`
+	AvgArity      float64 `json:"avg_arity"`
+	Partitions    int     `json:"partitions"`
+	Signatures    int     `json:"num_signatures"`
+	IndexBytes    int     `json:"index_bytes"`
+	GraphBytes    int     `json:"graph_bytes"`
+	SigTableBytes int     `json:"sig_table_bytes"`
 }
 
 // GraphInfoFor assembles a GraphInfo from a graph and its registry name.
 func GraphInfoFor(name string, h *hypergraph.Hypergraph) GraphInfo {
 	s := hypergraph.ComputeStats(h)
 	return GraphInfo{
-		Name:        name,
-		NumVertices: s.NumVertices,
-		NumEdges:    s.NumEdges,
-		NumLabels:   s.NumLabels,
-		MaxArity:    s.MaxArity,
-		AvgArity:    s.AvgArity,
-		Partitions:  s.Partitions,
-		IndexBytes:  s.IndexBytes,
-		GraphBytes:  s.GraphBytes,
+		Name:          name,
+		NumVertices:   s.NumVertices,
+		NumEdges:      s.NumEdges,
+		NumLabels:     s.NumLabels,
+		MaxArity:      s.MaxArity,
+		AvgArity:      s.AvgArity,
+		Partitions:    s.Partitions,
+		Signatures:    s.Signatures,
+		IndexBytes:    s.IndexBytes,
+		GraphBytes:    s.GraphBytes,
+		SigTableBytes: s.SigTableBytes,
 	}
 }
 

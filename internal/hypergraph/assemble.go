@@ -1,0 +1,263 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"hgmatch/internal/setops"
+)
+
+// RawPartition is one prebuilt hyperedge table handed to Assemble: the
+// member edges plus the CSR inverted index exactly as Partition stores it.
+// The hgio binary format v2 persists these arrays verbatim, so loading
+// skips the Builder's normalise/dedup/partition/invert work entirely.
+type RawPartition struct {
+	EdgeLabel Label    // NoEdgeLabel for vertex-labelled-only tables
+	Edges     []EdgeID // sorted member hyperedge IDs
+	Verts     []VertexID
+	Offsets   []uint32
+	Posts     []EdgeID
+}
+
+// Assemble constructs a Hypergraph from prebuilt storage: per-vertex
+// labels, per-edge sorted vertex sets, optional per-edge labels, and the
+// partitioned CSR index. It is the fast path behind loading binary format
+// v2 — incidence lists and the signature interner are rebuilt in linear
+// time, everything else is adopted as is.
+//
+// Assemble validates the input enough to guarantee the result satisfies
+// every Hypergraph invariant (Validate passes) without paying the
+// Builder's costs: the CSR arrays are required to be exactly the canonical
+// index the Builder produces, checked by a single linear sweep over the
+// incidence lists; malformed offset tables, out-of-range IDs, unsorted or
+// duplicate edges and inconsistent posting lists all return errors, never
+// panic. Slices are retained by reference; callers must not reuse them.
+func Assemble(labels []Label, edges [][]uint32, edgeLabels []Label, parts []RawPartition, vertexDict, edgeDict *Dict) (*Hypergraph, error) {
+	if edgeLabels != nil && len(edgeLabels) != len(edges) {
+		return nil, fmt.Errorf("hypergraph: %d edge labels for %d edges", len(edgeLabels), len(edges))
+	}
+	h := &Hypergraph{
+		labels:     labels,
+		edges:      edges,
+		edgeLabels: edgeLabels,
+		dict:       vertexDict,
+		edgeDict:   edgeDict,
+	}
+	for e, vs := range edges {
+		if len(vs) == 0 {
+			return nil, fmt.Errorf("hypergraph: edge %d is empty", e)
+		}
+		if !setops.IsSorted(vs) {
+			return nil, fmt.Errorf("hypergraph: edge %d vertex set not strictly sorted", e)
+		}
+		if int(vs[len(vs)-1]) >= len(labels) {
+			return nil, fmt.Errorf("hypergraph: edge %d references unknown vertex %d", e, vs[len(vs)-1])
+		}
+		h.totalArity += len(vs)
+		if len(vs) > h.maxArity {
+			h.maxArity = len(vs)
+		}
+	}
+
+	if err := h.adoptPartitions(parts); err != nil {
+		return nil, err
+	}
+	h.countLabels()
+	return h, nil
+}
+
+// adoptPartitions validates the prebuilt tables and installs them together
+// with the signature interner and partition lookup tables.
+func (h *Hypergraph) adoptPartitions(parts []RawPartition) error {
+	h.edgePart = make([]uint32, len(h.edges))
+	seenEdge := make([]bool, len(h.edges))
+	// Phase 1: the edge→partition cover.
+	for pi, rp := range parts {
+		if len(rp.Edges) == 0 {
+			return fmt.Errorf("hypergraph: partition %d is empty", pi)
+		}
+		if !setops.IsSorted(rp.Edges) {
+			return fmt.Errorf("hypergraph: partition %d edge list not sorted", pi)
+		}
+		if int(rp.Edges[len(rp.Edges)-1]) >= len(h.edges) {
+			return fmt.Errorf("hypergraph: partition %d references unknown edge %d", pi, rp.Edges[len(rp.Edges)-1])
+		}
+		if len(rp.Offsets) != len(rp.Verts)+1 || len(rp.Verts) == 0 || rp.Offsets[0] != 0 {
+			return fmt.Errorf("hypergraph: partition %d CSR header malformed", pi)
+		}
+		for _, e := range rp.Edges {
+			if seenEdge[e] {
+				return fmt.Errorf("hypergraph: edge %d appears in two partitions", e)
+			}
+			seenEdge[e] = true
+			h.edgePart[e] = uint32(pi)
+		}
+	}
+	for e, ok := range seenEdge {
+		if !ok {
+			return fmt.Errorf("hypergraph: edge %d belongs to no partition", e)
+		}
+	}
+
+	// Phase 2: incidence lists (derived from the validated edges alone),
+	// then one linear sweep replaying the canonical CSR construction
+	// against the supplied arrays — any deviation (wrong vertex dictionary,
+	// offsets, posting order or content) is rejected without a single
+	// binary search.
+	h.buildIncidence()
+	if err := h.checkCanonicalCSR(parts); err != nil {
+		return err
+	}
+
+	// Phase 3: per-partition signature coherence, exact-duplicate edges,
+	// interner and lookup tables.
+	h.sigTab = newU32Interner(len(parts))
+	h.partitions = make([]*Partition, 0, len(parts))
+	var sigBuf Signature
+	for pi, rp := range parts {
+		sig := SignatureOf(h.edges[rp.Edges[0]], h.labels)
+		for _, e := range rp.Edges {
+			if h.EdgeLabel(e) != rp.EdgeLabel {
+				return fmt.Errorf("hypergraph: edge %d label differs from partition %d's", e, pi)
+			}
+			sigBuf = AppendSignature(sigBuf[:0], h.edges[e], h.labels)
+			if !sig.Equal(sigBuf) {
+				return fmt.Errorf("hypergraph: edge %d signature differs from partition %d's", e, pi)
+			}
+		}
+		id, ok := h.sigTab.lookup(0, sig)
+		if !ok {
+			id, _ = h.sigTab.intern(0, sig)
+		}
+		p := &Partition{
+			Sig:       h.Sig(id),
+			SigID:     id,
+			EdgeLabel: rp.EdgeLabel,
+			Edges:     rp.Edges,
+		}
+		p.setCSR(rp.Verts, rp.Offsets, rp.Posts)
+		h.partitions = append(h.partitions, p)
+	}
+	if err := h.checkNoDuplicateEdges(); err != nil {
+		return err
+	}
+	h.sigTab.compact()
+
+	// Lookup tables: SigID -> partition, (edge label, SigID) -> partition.
+	h.sigParts = make([]int32, h.sigTab.len())
+	for i := range h.sigParts {
+		h.sigParts[i] = -1
+	}
+	for pi, p := range h.partitions {
+		if p.EdgeLabel == NoEdgeLabel {
+			if h.sigParts[p.SigID] >= 0 {
+				return fmt.Errorf("hypergraph: two partitions share signature %v", p.Sig)
+			}
+			h.sigParts[p.SigID] = int32(pi)
+		} else {
+			if h.labelledParts == nil {
+				h.labelledParts = make(map[uint64]int32)
+			}
+			key := uint64(p.EdgeLabel)<<32 | uint64(p.SigID)
+			if _, dup := h.labelledParts[key]; dup {
+				return fmt.Errorf("hypergraph: two partitions share (label %d, signature %v)", p.EdgeLabel, p.Sig)
+			}
+			h.labelledParts[key] = int32(pi)
+		}
+	}
+	return nil
+}
+
+// checkCanonicalCSR replays buildCSR's sweep over the incidence lists in
+// compare mode: the supplied vertex dictionaries, offsets and posting
+// arrays must match the canonical construction entry for entry. Because
+// the canonical index is unique, equality both validates the arrays and
+// proves they ARE the inverted hyperedge index. O(Σ a(e)) total.
+func (h *Hypergraph) checkCanonicalCSR(parts []RawPartition) error {
+	np := len(parts)
+	fill := make([]uint32, np)     // posting cursor per partition
+	vcur := make([]uint32, np)     // vertex-dictionary cursor per partition
+	lastSeen := make([]uint32, np) // vertex+1 last advanced per partition
+	for v, es := range h.incidence {
+		for _, e := range es {
+			pi := h.edgePart[e]
+			rp := &parts[pi]
+			if lastSeen[pi] != uint32(v)+1 {
+				lastSeen[pi] = uint32(v) + 1
+				i := vcur[pi]
+				if int(i) >= len(rp.Verts) || rp.Verts[i] != VertexID(v) {
+					return fmt.Errorf("hypergraph: partition %d vertex dictionary diverges at vertex %d", pi, v)
+				}
+				if rp.Offsets[i] != fill[pi] {
+					return fmt.Errorf("hypergraph: partition %d offset of vertex %d diverges", pi, v)
+				}
+				vcur[pi] = i + 1
+			}
+			if int(fill[pi]) >= len(rp.Posts) || rp.Posts[fill[pi]] != e {
+				return fmt.Errorf("hypergraph: partition %d posting array diverges at edge %d", pi, e)
+			}
+			fill[pi]++
+		}
+	}
+	for pi := range parts {
+		rp := &parts[pi]
+		if int(vcur[pi]) != len(rp.Verts) {
+			return fmt.Errorf("hypergraph: partition %d vertex dictionary has %d extra entries", pi, len(rp.Verts)-int(vcur[pi]))
+		}
+		if int(fill[pi]) != len(rp.Posts) {
+			return fmt.Errorf("hypergraph: partition %d posting array has %d extra entries", pi, len(rp.Posts)-int(fill[pi]))
+		}
+		if rp.Offsets[len(rp.Verts)] != fill[pi] {
+			return fmt.Errorf("hypergraph: partition %d final offset diverges", pi)
+		}
+	}
+	return nil
+}
+
+// checkNoDuplicateEdges rejects exact duplicate hyperedges (same vertex
+// set and edge label) — the one Builder invariant the other checks don't
+// already imply. Edges sort by a 64-bit content fingerprint (cheap integer
+// compares); only fingerprint collisions compare full vertex sets.
+func (h *Hypergraph) checkNoDuplicateEdges() error {
+	if len(h.edges) < 2 {
+		return nil
+	}
+	fps := make([]uint64, len(h.edges))
+	for e, vs := range h.edges {
+		fps[e] = hashU32s(h.EdgeLabel(EdgeID(e)), vs)
+	}
+	ids := make([]uint32, len(h.edges))
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return fps[ids[a]] < fps[ids[b]] })
+	// Within each run of equal fingerprints, order by full content so
+	// identical edges become adjacent even among crafted collisions.
+	for lo := 0; lo < len(ids); {
+		hi := lo + 1
+		for hi < len(ids) && fps[ids[hi]] == fps[ids[lo]] {
+			hi++
+		}
+		if hi-lo > 1 {
+			run := ids[lo:hi]
+			sort.Slice(run, func(a, b int) bool { return h.edgeContentLess(run[a], run[b]) })
+			for i := 1; i < len(run); i++ {
+				a, b := run[i-1], run[i]
+				if h.EdgeLabel(a) == h.EdgeLabel(b) && setops.Equal(h.edges[a], h.edges[b]) {
+					return fmt.Errorf("hypergraph: edges %d and %d are duplicates", a, b)
+				}
+			}
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// edgeContentLess orders edges by (edge label, vertex tuple).
+func (h *Hypergraph) edgeContentLess(a, b uint32) bool {
+	la, lb := h.EdgeLabel(a), h.EdgeLabel(b)
+	if la != lb {
+		return la < lb
+	}
+	return sigLess(Signature(h.edges[a]), Signature(h.edges[b]))
+}

@@ -1,0 +1,174 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rawPartsOf extracts Assemble inputs from a built graph — the same arrays
+// the binary v2 format persists.
+func rawPartsOf(h *Hypergraph) ([]Label, [][]uint32, []Label, []RawPartition) {
+	labels := append([]Label(nil), h.Labels()...)
+	edges := make([][]uint32, h.NumEdges())
+	var edgeLabels []Label
+	if h.EdgeLabelled() {
+		edgeLabels = make([]Label, h.NumEdges())
+	}
+	for e := range edges {
+		edges[e] = append([]uint32(nil), h.Edge(EdgeID(e))...)
+		if edgeLabels != nil {
+			edgeLabels[e] = h.EdgeLabel(EdgeID(e))
+		}
+	}
+	parts := make([]RawPartition, h.NumPartitions())
+	for pi := range parts {
+		p := h.Partition(pi)
+		rp := RawPartition{
+			EdgeLabel: p.EdgeLabel,
+			Edges:     append([]EdgeID(nil), p.Edges...),
+			Verts:     append([]VertexID(nil), p.PostingVertices()...),
+			Offsets:   []uint32{0},
+		}
+		for i := range p.PostingVertices() {
+			rp.Posts = append(rp.Posts, p.PostingsAt(i)...)
+			rp.Offsets = append(rp.Offsets, uint32(len(rp.Posts)))
+		}
+		parts[pi] = rp
+	}
+	return labels, edges, edgeLabels, parts
+}
+
+func buildRandom(seed int64) *Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	nv := 10 + rng.Intn(40)
+	for i := 0; i < nv; i++ {
+		b.AddVertex(Label(rng.Intn(5)))
+	}
+	ne := 5 + rng.Intn(60)
+	for i := 0; i < ne; i++ {
+		a := 1 + rng.Intn(5)
+		vs := make([]uint32, a)
+		for j := range vs {
+			vs[j] = uint32(rng.Intn(nv))
+		}
+		if seed%2 == 0 && rng.Intn(3) == 0 {
+			b.AddLabelledEdge(Label(rng.Intn(3)), vs...)
+		} else {
+			b.AddEdge(vs...)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		h := buildRandom(seed)
+		labels, edges, edgeLabels, parts := rawPartsOf(h)
+		got, err := Assemble(labels, edges, edgeLabels, parts, h.Dict(), h.EdgeDict())
+		if err != nil {
+			t.Fatalf("seed %d: Assemble: %v", seed, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("seed %d: assembled graph invalid: %v", seed, err)
+		}
+		if CanonicalKey(got) != CanonicalKey(h) {
+			t.Fatalf("seed %d: assembled graph differs from source", seed)
+		}
+		if got.NumSignatures() != h.NumSignatures() || got.NumPartitions() != h.NumPartitions() {
+			t.Fatalf("seed %d: index shape differs: %d/%d sigs, %d/%d partitions",
+				seed, got.NumSignatures(), h.NumSignatures(), got.NumPartitions(), h.NumPartitions())
+		}
+		// Posting views must agree for every (partition, vertex).
+		for pi := 0; pi < h.NumPartitions(); pi++ {
+			p, q := h.Partition(pi), got.Partition(pi)
+			for _, v := range p.PostingVertices() {
+				a, b := p.Postings(v), q.Postings(v)
+				if len(a) != len(b) {
+					t.Fatalf("seed %d: partition %d vertex %d postings differ", seed, pi, v)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("seed %d: partition %d vertex %d postings differ", seed, pi, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAssembleRejectsMalformed(t *testing.T) {
+	h := MustFromEdges(
+		[]Label{0, 1, 0, 1},
+		[][]uint32{{0, 1}, {2, 3}, {0, 1, 2}},
+	)
+	cases := []struct {
+		name   string
+		mutate func(labels []Label, edges [][]uint32, parts []RawPartition)
+	}{
+		{"unsorted edge", func(_ []Label, edges [][]uint32, _ []RawPartition) {
+			edges[0][0], edges[0][1] = edges[0][1], edges[0][0]
+		}},
+		{"vertex out of range", func(_ []Label, edges [][]uint32, _ []RawPartition) {
+			edges[0][1] = 99
+		}},
+		{"offsets too short", func(_ []Label, _ [][]uint32, parts []RawPartition) {
+			parts[0].Offsets = parts[0].Offsets[:len(parts[0].Offsets)-1]
+		}},
+		{"offsets decreasing", func(_ []Label, _ [][]uint32, parts []RawPartition) {
+			parts[0].Offsets[1] = parts[0].Offsets[len(parts[0].Offsets)-1] + 1
+		}},
+		{"offsets not spanning", func(_ []Label, _ [][]uint32, parts []RawPartition) {
+			parts[0].Offsets[len(parts[0].Offsets)-1]--
+		}},
+		{"posting edge out of range", func(_ []Label, _ [][]uint32, parts []RawPartition) {
+			parts[0].Posts[0] = 99
+		}},
+		{"foreign posting edge", func(_ []Label, _ [][]uint32, parts []RawPartition) {
+			parts[0].Posts[0] = parts[1].Edges[0]
+		}},
+		{"duplicated partition edge", func(_ []Label, _ [][]uint32, parts []RawPartition) {
+			parts[1].Edges = append([]EdgeID(nil), parts[0].Edges...)
+		}},
+		{"missing partition", func(_ []Label, _ [][]uint32, parts []RawPartition) {
+			parts[1] = parts[0]
+		}},
+		{"signature mismatch", func(labels []Label, _ [][]uint32, _ []RawPartition) {
+			labels[0] = 5
+		}},
+		{"empty partition", func(_ []Label, _ [][]uint32, parts []RawPartition) {
+			parts[0].Edges = nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			labels, edges, edgeLabels, parts := rawPartsOf(h)
+			tc.mutate(labels, edges, parts)
+			got, err := Assemble(labels, edges, edgeLabels, parts, nil, nil)
+			if err == nil {
+				// A mutation may coincidentally produce a valid graph; it
+				// must then satisfy every invariant.
+				if verr := got.Validate(); verr != nil {
+					t.Fatalf("Assemble accepted malformed input; Validate: %v", verr)
+				}
+			}
+		})
+	}
+}
+
+func TestAssembleRejectsDuplicateEdges(t *testing.T) {
+	// Two identical edges with consistent CSR entries: only the dedup
+	// check can catch this.
+	labels := []Label{0, 1}
+	edges := [][]uint32{{0, 1}, {0, 1}}
+	parts := []RawPartition{{
+		EdgeLabel: NoEdgeLabel,
+		Edges:     []EdgeID{0, 1},
+		Verts:     []VertexID{0, 1},
+		Offsets:   []uint32{0, 2, 4},
+		Posts:     []EdgeID{0, 1, 0, 1},
+	}}
+	if _, err := Assemble(labels, edges, nil, parts, nil, nil); err == nil {
+		t.Fatal("Assemble accepted duplicate hyperedges")
+	}
+}

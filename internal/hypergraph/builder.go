@@ -73,20 +73,21 @@ func (b *Builder) AddLabelledEdge(label Label, vertices ...uint32) {
 // added before Build are retained.
 func (b *Builder) Build() (*Hypergraph, error) {
 	h := &Hypergraph{
-		labels:    append([]Label(nil), b.labels...),
-		dict:      b.dict,
-		edgeDict:  b.edgeDict,
-		partBySig: make(map[string]int),
+		labels:   append([]Label(nil), b.labels...),
+		dict:     b.dict,
+		edgeDict: b.edgeDict,
 	}
 
-	// Normalise and deduplicate hyperedges. The dedup key includes the edge
-	// label so that two same-vertex edges with different labels coexist
-	// (they are distinct relations in an edge-labelled hypergraph).
+	// Normalise and deduplicate hyperedges. Dedup interns the exact
+	// (edge label, sorted vertex set) pair — ID-based, no per-edge key
+	// bytes — and the interner includes the edge label so that two
+	// same-vertex edges with different labels coexist (they are distinct
+	// relations in an edge-labelled hypergraph).
 	type pending struct {
 		vs    []uint32
 		label Label
 	}
-	seen := make(map[string]bool, len(b.edges))
+	seen := newU32Interner(len(b.edges))
 	var kept []pending
 	for i, raw := range b.edges {
 		vs := append([]uint32(nil), raw...)
@@ -101,11 +102,9 @@ func (b *Builder) Build() (*Hypergraph, error) {
 			}
 		}
 		el := b.edgeLabels[i]
-		key := keyWithEdgeLabel(el, Signature(vs)) // vertex IDs as pseudo-signature: exact-set key
-		if seen[key] {
+		if _, added := seen.intern(el, vs); !added {
 			continue // repeated hyperedge: dropped, per paper preprocessing
 		}
-		seen[key] = true
 		kept = append(kept, pending{vs: vs, label: el})
 	}
 
@@ -165,71 +164,145 @@ func (h *Hypergraph) buildIncidence() {
 
 func (h *Hypergraph) buildPartitions() {
 	h.edgePart = make([]uint32, len(h.edges))
+
+	// Pass 1: intern every edge's signature (one hash probe per edge, no
+	// key bytes) and group edges by (edge label, SigID).
 	type agg struct {
-		sig   Signature
+		sigID SigID
 		elbl  Label
 		edges []EdgeID
 	}
-	byKey := make(map[string]*agg)
-	var order []string // deterministic: first-appearance order, sorted below
+	h.sigTab = newU32Interner(16)
+	byKey := make(map[uint64]int32)
+	var aggs []*agg
+	sigBuf := make(Signature, 0, 16)
 	for e, vs := range h.edges {
-		sig := SignatureOf(vs, h.labels)
+		sigBuf = AppendSignature(sigBuf[:0], vs, h.labels)
+		id, ok := h.sigTab.lookup(0, sigBuf)
+		if !ok {
+			id, _ = h.sigTab.intern(0, append(Signature(nil), sigBuf...))
+		}
 		el := NoEdgeLabel
 		if h.edgeLabels != nil {
 			el = h.edgeLabels[e]
 		}
-		key := keyWithEdgeLabel(el, sig)
-		a, ok := byKey[key]
+		key := uint64(el)<<32 | uint64(id)
+		slot, ok := byKey[key]
 		if !ok {
-			a = &agg{sig: sig, elbl: el}
-			byKey[key] = a
-			order = append(order, key)
+			slot = int32(len(aggs))
+			byKey[key] = slot
+			aggs = append(aggs, &agg{sigID: id, elbl: el})
 		}
-		a.edges = append(a.edges, EdgeID(e))
+		aggs[slot].edges = append(aggs[slot].edges, EdgeID(e))
 	}
-	sort.Strings(order) // canonical partition order: by (edge label, signature)
-	h.partitions = make([]*Partition, 0, len(order))
-	for pi, key := range order {
-		a := byKey[key]
+	h.sigTab.compact()
+
+	// Canonical partition order: by (edge label, signature), numerically —
+	// the same order the former byte-key sort produced, so partition
+	// indices stay deterministic across builds and binary round trips.
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].elbl != aggs[j].elbl {
+			return aggs[i].elbl < aggs[j].elbl
+		}
+		return sigLess(h.Sig(aggs[i].sigID), h.Sig(aggs[j].sigID))
+	})
+
+	h.partitions = make([]*Partition, 0, len(aggs))
+	h.sigParts = make([]int32, h.sigTab.len())
+	for i := range h.sigParts {
+		h.sigParts[i] = -1
+	}
+	for pi, a := range aggs {
 		p := &Partition{
-			Sig:       a.sig,
+			Sig:       h.Sig(a.sigID),
+			SigID:     a.sigID,
 			EdgeLabel: a.elbl,
 			Edges:     a.edges, // appended in increasing e => sorted
-			postings:  make(map[VertexID][]EdgeID),
 		}
 		for _, e := range a.edges {
 			h.edgePart[e] = uint32(pi)
-			for _, v := range h.edges[e] {
-				p.postings[v] = append(p.postings[v], e)
-			}
 		}
 		h.partitions = append(h.partitions, p)
-		h.partBySig[keyString(p)] = pi
+		if a.elbl == NoEdgeLabel {
+			h.sigParts[a.sigID] = int32(pi)
+		} else {
+			if h.labelledParts == nil {
+				h.labelledParts = make(map[uint64]int32)
+			}
+			h.labelledParts[uint64(a.elbl)<<32|uint64(a.sigID)] = int32(pi)
+		}
 	}
+	h.buildCSR()
 }
 
-// keyString returns the partition's lookup key. Vertex-label-only graphs
-// use the bare signature key so PartitionFor(sig) works without an edge
-// label; edge-labelled graphs include the label.
-func keyString(p *Partition) string {
-	if p.EdgeLabel == NoEdgeLabel {
-		return string(p.Sig.Key())
+// buildCSR constructs every partition's CSR inverted index in one linear
+// sweep over the incidence lists: iterating vertices ascending and each
+// vertex's (already sorted) incident edges yields the per-partition vertex
+// dictionaries and posting lists in exactly CSR order — no maps, no
+// per-list sorts, three flat backing arrays shared by all tables.
+func (h *Hypergraph) buildCSR() {
+	np := len(h.partitions)
+	if np == 0 {
+		return
 	}
-	return keyWithEdgeLabel(p.EdgeLabel, p.Sig)
+	postCount := make([]int, np)
+	vertCount := make([]int, np)
+	lastSeen := make([]uint32, np) // vertex+1 last counted per partition
+	for v, es := range h.incidence {
+		for _, e := range es {
+			pi := h.edgePart[e]
+			postCount[pi]++
+			if lastSeen[pi] != uint32(v)+1 {
+				lastSeen[pi] = uint32(v) + 1
+				vertCount[pi]++
+			}
+		}
+	}
+	totalVerts := 0
+	for pi := range h.partitions {
+		totalVerts += vertCount[pi]
+	}
+	// Single backing arrays, sliced per partition.
+	vertsBack := make([]VertexID, 0, totalVerts)
+	offsBack := make([]uint32, 0, totalVerts+np)
+	postsBack := make([]EdgeID, h.totalArity)
+	postOff := 0
+	for pi, p := range h.partitions {
+		p.verts = vertsBack[len(vertsBack) : len(vertsBack) : len(vertsBack)+vertCount[pi]]
+		p.offsets = offsBack[len(offsBack) : len(offsBack) : len(offsBack)+vertCount[pi]+1]
+		vertsBack = vertsBack[:len(vertsBack)+vertCount[pi]]
+		offsBack = offsBack[:len(offsBack)+vertCount[pi]+1]
+		p.posts = postsBack[postOff : postOff+postCount[pi]]
+		postOff += postCount[pi]
+	}
+	fill := make([]uint32, np)
+	clear(lastSeen)
+	for v, es := range h.incidence {
+		for _, e := range es {
+			pi := h.edgePart[e]
+			p := h.partitions[pi]
+			if lastSeen[pi] != uint32(v)+1 {
+				lastSeen[pi] = uint32(v) + 1
+				p.verts = append(p.verts, VertexID(v))
+				p.offsets = append(p.offsets, fill[pi])
+			}
+			p.posts[fill[pi]] = e
+			fill[pi]++
+		}
+	}
+	for pi, p := range h.partitions {
+		p.offsets = append(p.offsets, fill[pi])
+	}
 }
 
 // PartitionForLabelled returns the table for (edge label, signature) in an
 // edge-labelled hypergraph.
 func (h *Hypergraph) PartitionForLabelled(el Label, sig Signature) *Partition {
-	key := keyWithEdgeLabel(el, sig)
-	if el == NoEdgeLabel {
-		key = string(sig.Key())
-	}
-	i, ok := h.partBySig[key]
+	id, ok := h.LookupSig(sig)
 	if !ok {
 		return nil
 	}
-	return h.partitions[i]
+	return h.PartitionBySigLabelled(el, id)
 }
 
 func (h *Hypergraph) countLabels() {

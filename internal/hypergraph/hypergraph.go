@@ -39,8 +39,16 @@ type Hypergraph struct {
 	incidence [][]uint32 // vertex -> sorted incident edge IDs (he(v))
 
 	partitions []*Partition
-	partBySig  map[string]int // signature key -> index into partitions
-	edgePart   []uint32       // edge -> index into partitions
+	edgePart   []uint32 // edge -> index into partitions
+
+	// sigTab interns every distinct signature to a dense SigID; sigParts
+	// maps a SigID to its vertex-label-only partition (-1 when the
+	// signature occurs only under edge labels), and labelledParts maps
+	// (edge label, SigID) pairs for the edge-labelled extension. Lookups
+	// probe label slices directly — no canonical key bytes are built.
+	sigTab        *u32Interner
+	sigParts      []int32
+	labelledParts map[uint64]int32
 
 	dict     *Dict // vertex-label dictionary (may be nil for raw graphs)
 	edgeDict *Dict // edge-label dictionary (may be nil)
@@ -123,31 +131,82 @@ func (h *Hypergraph) PartitionOf(e EdgeID) *Partition {
 	return h.partitions[h.edgePart[e]]
 }
 
-// PartitionFor returns the hyperedge table whose signature equals sig, or
-// nil when no data hyperedge has that signature. This implements the O(1)
-// cardinality fetch of Definition V.2: Card(e_q, H) is
-// PartitionFor(S(e_q)).Len().
-func (h *Hypergraph) PartitionFor(sig Signature) *Partition {
-	i, ok := h.partBySig[string(sig.Key())]
+// NumSignatures returns the number of distinct interned signatures.
+func (h *Hypergraph) NumSignatures() int { return h.sigTab.len() }
+
+// LookupSig returns the interned SigID of sig, if any hyperedge of h
+// carries it. The probe hashes the label slice in place and allocates
+// nothing, which is what makes SigID the planner's currency: one lookup
+// per query hyperedge per compile, then integer IDs everywhere.
+func (h *Hypergraph) LookupSig(sig Signature) (SigID, bool) {
+	return h.sigTab.lookup(0, sig)
+}
+
+// Sig returns the canonical signature interned under id. Callers must not
+// mutate it.
+func (h *Hypergraph) Sig(id SigID) Signature { return Signature(h.sigTab.body(id)) }
+
+// PartitionBySig returns the vertex-label-only hyperedge table for an
+// interned signature, or nil when the signature occurs only under edge
+// labels. This is the O(1) fetch behind Definition V.2 with the hash
+// probe already paid at interning time.
+func (h *Hypergraph) PartitionBySig(id SigID) *Partition {
+	if id >= SigID(len(h.sigParts)) {
+		return nil
+	}
+	pi := h.sigParts[id]
+	if pi < 0 {
+		return nil
+	}
+	return h.partitions[pi]
+}
+
+// PartitionBySigLabelled returns the table for (edge label, interned
+// signature) in an edge-labelled hypergraph.
+func (h *Hypergraph) PartitionBySigLabelled(el Label, id SigID) *Partition {
+	if el == NoEdgeLabel {
+		return h.PartitionBySig(id)
+	}
+	pi, ok := h.labelledParts[uint64(el)<<32|uint64(id)]
 	if !ok {
 		return nil
 	}
-	return h.partitions[i]
+	return h.partitions[pi]
+}
+
+// CardinalityBySig returns Card for an interned signature: the length of
+// its vertex-label-only table.
+func (h *Hypergraph) CardinalityBySig(id SigID) int {
+	return h.PartitionBySig(id).Len()
+}
+
+// PartitionFor returns the hyperedge table whose signature equals sig, or
+// nil when no data hyperedge has that signature. This implements the O(1)
+// cardinality fetch of Definition V.2: Card(e_q, H) is
+// PartitionFor(S(e_q)).Len(). It is the Signature-value convenience over
+// LookupSig + PartitionBySig.
+func (h *Hypergraph) PartitionFor(sig Signature) *Partition {
+	id, ok := h.LookupSig(sig)
+	if !ok {
+		return nil
+	}
+	return h.PartitionBySig(id)
 }
 
 // Cardinality returns Card(sig, H) = number of data hyperedges with the
 // given signature (paper Definition V.2).
 func (h *Hypergraph) Cardinality(sig Signature) int {
-	p := h.PartitionFor(sig)
-	if p == nil {
-		return 0
-	}
-	return p.Len()
+	return h.PartitionFor(sig).Len()
 }
 
 // SignatureOf returns S(e) for a hyperedge of this graph.
 func (h *Hypergraph) SignatureOf(e EdgeID) Signature {
 	return h.partitions[h.edgePart[e]].Sig
+}
+
+// SigIDOf returns the interned signature ID of hyperedge e.
+func (h *Hypergraph) SigIDOf(e EdgeID) SigID {
+	return h.partitions[h.edgePart[e]].SigID
 }
 
 // AdjacentVertices returns adj(u): all vertices sharing at least one

@@ -1,0 +1,145 @@
+package hypergraph
+
+import "hgmatch/internal/setops"
+
+// SigID is a dense interned identifier for a hyperedge signature. Every
+// distinct signature of a built Hypergraph gets one SigID in
+// [0, NumSignatures); the planner threads SigIDs instead of signature
+// values through compilation, so the per-lookup cost is a hash probe over
+// the label slice — no canonical key bytes are ever materialised.
+type SigID = uint32
+
+// NoSigID marks "signature not present in this hypergraph".
+const NoSigID = ^SigID(0)
+
+// u32Interner interns (tag, body) pairs — a uint32 tag plus a []uint32
+// body — into dense uint32 IDs. It backs both the global signature table
+// (tag unused, body = sorted label multiset) and the Builder's exact-set
+// edge dedup (tag = edge label, body = sorted vertex set).
+//
+// The table is open-addressing with linear probing, and both lookup and
+// intern hash the slice in place: unlike a map[string]T keyed on encoded
+// bytes, no key allocation happens on either path. Interned bodies are
+// stored by reference; callers must not mutate them afterwards.
+type u32Interner struct {
+	tags   []uint32   // id -> tag
+	bodies [][]uint32 // id -> body
+	slots  []uint32   // hash slot -> id+1; 0 = empty
+	mask   uint32     // len(slots)-1; len is a power of two
+}
+
+// newU32Interner returns an interner pre-sized for about n entries.
+func newU32Interner(n int) *u32Interner {
+	size := uint32(8)
+	for int(size)*3 < n*4 { // keep load factor under 3/4 at capacity n
+		size <<= 1
+	}
+	return &u32Interner{slots: make([]uint32, size), mask: size - 1}
+}
+
+// hashU32s is FNV-1a over the tag and body words, mixing each uint32 as
+// four bytes would but one multiply per word.
+func hashU32s(tag uint32, body []uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(tag)) * prime64
+	for _, x := range body {
+		h = (h ^ uint64(x)) * prime64
+	}
+	return h
+}
+
+// len returns the number of interned entries.
+func (t *u32Interner) len() int { return len(t.bodies) }
+
+// body returns the body slice of an interned ID.
+func (t *u32Interner) body(id uint32) []uint32 { return t.bodies[id] }
+
+// lookup returns the ID interned for (tag, body), if any. It allocates
+// nothing.
+func (t *u32Interner) lookup(tag uint32, body []uint32) (uint32, bool) {
+	if t == nil || len(t.bodies) == 0 {
+		return NoSigID, false
+	}
+	i := uint32(hashU32s(tag, body)) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			return NoSigID, false
+		}
+		id := s - 1
+		if t.tags[id] == tag && setops.Equal(t.bodies[id], body) {
+			return id, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// intern returns the ID for (tag, body), interning it with the next dense
+// ID on first sight. added reports whether this call created the entry;
+// when it did, body is retained by reference.
+func (t *u32Interner) intern(tag uint32, body []uint32) (id uint32, added bool) {
+	i := uint32(hashU32s(tag, body)) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			break
+		}
+		id := s - 1
+		if t.tags[id] == tag && setops.Equal(t.bodies[id], body) {
+			return id, false
+		}
+		i = (i + 1) & t.mask
+	}
+	id = uint32(len(t.bodies))
+	t.tags = append(t.tags, tag)
+	t.bodies = append(t.bodies, body)
+	t.slots[i] = id + 1
+	if uint32(len(t.bodies))*4 >= uint32(len(t.slots))*3 {
+		t.grow()
+	}
+	return id, true
+}
+
+// grow doubles the slot table and rehashes every entry.
+func (t *u32Interner) grow() {
+	t.rehash(uint32(len(t.slots)) * 2)
+}
+
+// compact rebuilds the slot table at the canonical size for the current
+// entry count, making the table's footprint a function of its contents
+// alone — graphs built offline and graphs assembled from a binary file
+// report identical index statistics.
+func (t *u32Interner) compact() {
+	size := uint32(8)
+	for int(size)*3 < t.len()*4 {
+		size <<= 1
+	}
+	if size != uint32(len(t.slots)) {
+		t.rehash(size)
+	}
+}
+
+func (t *u32Interner) rehash(size uint32) {
+	t.slots = make([]uint32, size)
+	t.mask = size - 1
+	for id := range t.bodies {
+		i := uint32(hashU32s(t.tags[id], t.bodies[id])) & t.mask
+		for t.slots[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = uint32(id) + 1
+	}
+}
+
+// tableBytes approximates the interner's memory footprint: slot table plus
+// per-entry headers (bodies are shared with the partitions, not counted).
+func (t *u32Interner) tableBytes() int {
+	if t == nil {
+		return 0
+	}
+	return 4*len(t.slots) + 4*len(t.tags) + 24*len(t.bodies)
+}

@@ -11,22 +11,30 @@ import (
 // hyperedge index (paper §IV-C) mapping each member vertex to the sorted
 // posting list of its incident hyperedges *within this table*.
 //
-// Candidate generation touches only the partition whose signature equals
-// the query hyperedge's signature; he(v, s) lookups are a single map access
-// returning a ready-sorted posting list, so Algorithm 4 reduces to unions
-// and intersections of posting lists.
+// The index is stored in CSR form: a sorted local vertex dictionary
+// (verts) and two flat arrays (offsets, posts) holding every posting list
+// back to back. he(v, s) lookups rank v in the dictionary and return a
+// zero-copy slice view posts[offsets[i]:offsets[i+1]] — ready-sorted, so
+// Algorithm 4 reduces to unions and intersections of slice views with no
+// per-table map or per-list allocation anywhere.
 type Partition struct {
 	// Sig is the signature shared by every edge in this table.
 	Sig Signature
+	// SigID is the graph-wide interned ID of Sig.
+	SigID SigID
 	// EdgeLabel is the shared hyperedge label (NoEdgeLabel when the graph
 	// is vertex-labelled only).
 	EdgeLabel Label
 	// Edges lists the global hyperedge IDs in this table, sorted ascending.
 	Edges []EdgeID
 
-	// postings maps vertex -> sorted global edge IDs incident to the vertex
-	// within this table. This is the inverted hyperedge index I of Table I.
-	postings map[VertexID][]EdgeID
+	// CSR inverted hyperedge index (Table I's I): verts is the strictly
+	// sorted set of vertices occurring in the table, offsets has
+	// len(verts)+1 entries, and posts[offsets[i]:offsets[i+1]] is the
+	// sorted posting list of verts[i].
+	verts   []VertexID
+	offsets []uint32
+	posts   []EdgeID
 }
 
 // Len returns the table cardinality |{e ∈ E(H) : S(e) = Sig}|. This is the
@@ -39,13 +47,45 @@ func (p *Partition) Len() int {
 }
 
 // Postings returns he(v, Sig): the sorted posting list of hyperedges in
-// this table incident to v. The returned slice is shared; callers must not
-// mutate it. A vertex not occurring in the table yields nil.
+// this table incident to v, as a zero-copy view into the CSR arrays.
+// Callers must not mutate it. A vertex not occurring in the table yields
+// nil.
 func (p *Partition) Postings(v VertexID) []EdgeID {
 	if p == nil {
 		return nil
 	}
-	return p.postings[v]
+	// Rank v in the local vertex dictionary by binary search; the
+	// dictionary is small (vertices of one signature's edges) and
+	// contiguous, so this stays cache-resident on the hot path.
+	verts := p.verts
+	lo, hi := 0, len(verts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if verts[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(verts) || verts[lo] != v {
+		return nil
+	}
+	return p.posts[p.offsets[lo]:p.offsets[lo+1]]
+}
+
+// PostingVertices returns the sorted set of vertices occurring in the
+// table. Callers must not mutate it.
+func (p *Partition) PostingVertices() []VertexID {
+	if p == nil {
+		return nil
+	}
+	return p.verts
+}
+
+// PostingsAt returns the posting list of PostingVertices()[i]; it is the
+// iteration companion of PostingVertices for serialisation and tests.
+func (p *Partition) PostingsAt(i int) []EdgeID {
+	return p.posts[p.offsets[i]:p.offsets[i+1]]
 }
 
 // NumPostingVertices returns how many distinct vertices appear in the table.
@@ -53,21 +93,16 @@ func (p *Partition) NumPostingVertices() int {
 	if p == nil {
 		return 0
 	}
-	return len(p.postings)
+	return len(p.verts)
 }
 
 // IndexBytes returns the memory footprint of the inverted hyperedge index:
 // each hyperedge contributes O(a(e)) posting entries (paper §IV-C size
-// analysis), 4 bytes each, plus per-vertex map overhead approximated by one
-// header (key + slice header) per posting list.
+// analysis), 4 bytes each, plus the CSR vertex dictionary and offset
+// arrays — the exact flat-array footprint, with no per-vertex map
+// overhead left to approximate.
 func (p *Partition) IndexBytes() int {
-	const postingEntry = 4           // one uint32 edge ID
-	const perVertexOverhead = 4 + 24 // key + slice header
-	total := 0
-	for _, l := range p.postings {
-		total += perVertexOverhead + postingEntry*len(l)
-	}
-	return total
+	return 4 * (len(p.verts) + len(p.offsets) + len(p.posts))
 }
 
 // TableBytes returns the memory footprint of the hyperedge table itself:
@@ -81,12 +116,37 @@ func (p *Partition) TableBytes(h *Hypergraph) int {
 	return total
 }
 
+// setCSR installs a prebuilt CSR index; used by the builder and Assemble.
+func (p *Partition) setCSR(verts []VertexID, offsets []uint32, posts []EdgeID) {
+	p.verts, p.offsets, p.posts = verts, offsets, posts
+}
+
 // validate checks partition-internal invariants against the parent graph.
 func (p *Partition) validate(h *Hypergraph) error {
 	if !setops.IsSorted(p.Edges) {
 		return fmt.Errorf("edge list not sorted")
 	}
-	for v, l := range p.postings {
+	if len(p.offsets) != len(p.verts)+1 {
+		return fmt.Errorf("CSR offsets length %d for %d vertices", len(p.offsets), len(p.verts))
+	}
+	if len(p.verts) > 0 {
+		if p.offsets[0] != 0 || int(p.offsets[len(p.verts)]) != len(p.posts) {
+			return fmt.Errorf("CSR offsets do not span posting array")
+		}
+	}
+	if !setops.IsSorted(p.verts) {
+		return fmt.Errorf("CSR vertex dictionary not sorted")
+	}
+	total := 0
+	for i, v := range p.verts {
+		if p.offsets[i] > p.offsets[i+1] {
+			return fmt.Errorf("CSR offsets decrease at vertex %d", v)
+		}
+		l := p.PostingsAt(i)
+		if len(l) == 0 {
+			return fmt.Errorf("vertex %d has an empty posting list", v)
+		}
+		total += len(l)
 		if !setops.IsSorted(l) {
 			return fmt.Errorf("posting list of vertex %d not sorted", v)
 		}
@@ -99,11 +159,14 @@ func (p *Partition) validate(h *Hypergraph) error {
 			}
 		}
 	}
+	if total != len(p.posts) {
+		return fmt.Errorf("posting lists cover %d of %d CSR entries", total, len(p.posts))
+	}
 	// Every member edge must appear in the posting list of each member
 	// vertex.
 	for _, e := range p.Edges {
 		for _, v := range h.edges[e] {
-			if !setops.Contains(p.postings[v], e) {
+			if !setops.Contains(p.Postings(v), e) {
 				return fmt.Errorf("edge %d missing from posting list of vertex %d", e, v)
 			}
 		}

@@ -3,7 +3,6 @@ package hypergraph
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -21,12 +20,44 @@ type Signature []Label
 // SignatureOf computes S(e) for a vertex set under the given vertex->label
 // table.
 func SignatureOf(vertices []uint32, labels []Label) Signature {
-	s := make(Signature, len(vertices))
-	for i, v := range vertices {
-		s[i] = labels[v]
+	return AppendSignature(make(Signature, 0, len(vertices)), vertices, labels)
+}
+
+// AppendSignature appends S(e) for a vertex set to dst and returns the
+// extended slice; with a reused dst the computation allocates nothing.
+// Hyperedge arities are small, so the canonical non-decreasing order comes
+// from an insertion sort rather than sort.Slice and its closure.
+func AppendSignature(dst Signature, vertices []uint32, labels []Label) Signature {
+	base := len(dst)
+	for _, v := range vertices {
+		dst = append(dst, labels[v])
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	return s
+	s := dst[base:]
+	for i := 1; i < len(s); i++ {
+		x := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > x {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = x
+	}
+	return dst
+}
+
+// sigLess orders signatures lexicographically (element-wise numeric,
+// shorter prefix first) — the canonical partition order.
+func sigLess(a, b Signature) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }
 
 // Arity returns the arity of any hyperedge carrying this signature.

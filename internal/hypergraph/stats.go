@@ -2,27 +2,32 @@ package hypergraph
 
 // Stats summarises a hypergraph with the columns of the paper's Table II:
 // |V|, |E|, |Σ|, a_max, average arity a, and the size of the inverted
-// hyperedge index.
+// hyperedge index — plus the interned-signature table the storage layer
+// keys everything on.
 type Stats struct {
-	NumVertices int     // |V|
-	NumEdges    int     // |E|
-	NumLabels   int     // |Σ|
-	MaxArity    int     // a_max
-	AvgArity    float64 // a
-	IndexBytes  int     // |Index|: total inverted-index footprint
-	GraphBytes  int     // hyperedge-table footprint (edge cells + signature headers)
-	Partitions  int     // number of hyperedge tables (not in Table II; diagnostic)
+	NumVertices   int     // |V|
+	NumEdges      int     // |E|
+	NumLabels     int     // |Σ|
+	MaxArity      int     // a_max
+	AvgArity      float64 // a
+	IndexBytes    int     // |Index|: total CSR inverted-index footprint (verts + offsets + postings)
+	GraphBytes    int     // hyperedge-table footprint (edge cells + signature headers)
+	Partitions    int     // number of hyperedge tables (not in Table II; diagnostic)
+	Signatures    int     // number of distinct interned signatures (SigIDs)
+	SigTableBytes int     // footprint of the signature interner's hash table
 }
 
 // ComputeStats gathers Table II-style statistics for h.
 func ComputeStats(h *Hypergraph) Stats {
 	s := Stats{
-		NumVertices: h.NumVertices(),
-		NumEdges:    h.NumEdges(),
-		NumLabels:   h.NumLabels(),
-		MaxArity:    h.MaxArity(),
-		AvgArity:    h.AvgArity(),
-		Partitions:  h.NumPartitions(),
+		NumVertices:   h.NumVertices(),
+		NumEdges:      h.NumEdges(),
+		NumLabels:     h.NumLabels(),
+		MaxArity:      h.MaxArity(),
+		AvgArity:      h.AvgArity(),
+		Partitions:    h.NumPartitions(),
+		Signatures:    h.NumSignatures(),
+		SigTableBytes: h.sigTab.tableBytes(),
 	}
 	for i := 0; i < h.NumPartitions(); i++ {
 		p := h.Partition(i)

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"hgmatch"
+	"hgmatch/internal/hgio"
+)
+
+// TestMatchIdenticalAcrossBinaryFormats pins the acceptance contract of
+// binary format v2: a graph served from a v1 file (index rebuilt at load)
+// and the same graph served from a v2 file (index assembled from the
+// persisted CSR arrays) must produce identical /match results and stats.
+func TestMatchIdenticalAcrossBinaryFormats(t *testing.T) {
+	h, err := hgmatch.Load(strings.NewReader(fig1DataText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "fig1.v1.hgb")
+	v2Path := filepath.Join(dir, "fig1.v2.hgb")
+	f, err := os.Create(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hgio.WriteBinaryV1(f, h); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := hgio.WriteBinaryFile(v2Path, h); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	if err := reg.LoadFile("v1", v1Path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.LoadFile("v2", v2Path); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(reg, Config{}).Handler())
+	defer srv.Close()
+
+	type result struct {
+		embeddings [][]uint32
+		summary    hgio.MatchSummary
+	}
+	run := func(graph string) result {
+		resp, err := http.Post(srv.URL+"/match", "application/json",
+			matchBody(t, hgio.MatchRequest{Graph: graph, Query: fig1QueryText, Workers: 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/match on %q: status %d: %s", graph, resp.StatusCode, body)
+		}
+		records, summary := decodeStream(t, body)
+		r := result{summary: summary}
+		for _, rec := range records {
+			r.embeddings = append(r.embeddings, rec.Embedding)
+		}
+		// Parallel enumeration order is nondeterministic; compare as sets.
+		sort.Slice(r.embeddings, func(i, j int) bool {
+			a, b := r.embeddings[i], r.embeddings[j]
+			for k := 0; k < len(a) && k < len(b); k++ {
+				if a[k] != b[k] {
+					return a[k] < b[k]
+				}
+			}
+			return len(a) < len(b)
+		})
+		return r
+	}
+
+	r1, r2 := run("v1"), run("v2")
+	if r1.summary.Embeddings == 0 {
+		t.Fatal("v1 run found no embeddings; workload broken")
+	}
+	if r1.summary.Embeddings != r2.summary.Embeddings ||
+		r1.summary.Candidates != r2.summary.Candidates ||
+		r1.summary.Valid != r2.summary.Valid {
+		t.Fatalf("summaries differ across formats: v1=%+v v2=%+v", r1.summary, r2.summary)
+	}
+	if len(r1.embeddings) != len(r2.embeddings) {
+		t.Fatalf("embedding counts differ: %d vs %d", len(r1.embeddings), len(r2.embeddings))
+	}
+	for i := range r1.embeddings {
+		a, b := r1.embeddings[i], r2.embeddings[i]
+		if len(a) != len(b) {
+			t.Fatalf("embedding %d differs: %v vs %v", i, a, b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("embedding %d differs: %v vs %v", i, a, b)
+			}
+		}
+	}
+
+	// The two registry entries must also report identical index stats —
+	// same signatures, same CSR footprint — since v2 is the same index
+	// persisted rather than rebuilt.
+	i1, ok1 := reg.Info("v1")
+	i2, ok2 := reg.Info("v2")
+	if !ok1 || !ok2 {
+		t.Fatal("registry info missing")
+	}
+	i1.Name, i2.Name = "", ""
+	if i1 != i2 {
+		t.Fatalf("graph stats differ across formats: v1=%+v v2=%+v", i1, i2)
+	}
+	var stats hgio.GraphInfo
+	resp, err := http.Get(srv.URL + "/graphs/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Signatures == 0 || stats.IndexBytes == 0 {
+		t.Fatalf("stats endpoint missing storage-layer fields: %+v", stats)
+	}
+}

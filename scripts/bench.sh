@@ -11,16 +11,25 @@ out=BENCH_engine.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-# Preserve the baseline block (from `"baseline_commit"` through the `],`
-# closing the `"baseline"` array) before overwriting.
+# Preserve the baseline blocks (everything from `"baseline_commit"` up to
+# the `"benchmarks"` array: the pre-morsel-engine numbers of PR 1 and the
+# pre-interned-CSR compile/load numbers of PR 2) before overwriting.
 base=""
 if [ -f "$out" ]; then
-	base=$(awk '/^  "baseline_commit"/ { f = 1 } f { print } f && /^  \],$/ { exit }' "$out")
+	base=$(awk '/^  "baseline_commit"/ { f = 1 } /^  "benchmarks": \[/ { exit } f { print }' "$out")
 fi
 
 go test -run '^$' \
 	-bench 'BenchmarkKernelQ3|BenchmarkFig8SingleThread/HGMatch|BenchmarkFig11Scheduling|BenchmarkAblationDeque|BenchmarkPublicAPI' \
 	-benchmem -count=3 -benchtime=50x . | tee "$tmp"
+
+# The compile and load benches run at the default benchtime: their ops are
+# microseconds-to-milliseconds, so 50 iterations would be too noisy to
+# compare against the committed compile_baseline (which was recorded at
+# the default benchtime too).
+go test -run '^$' \
+	-bench 'BenchmarkCompile$|BenchmarkLoadFile' \
+	-benchmem -count=3 . | tee -a "$tmp"
 
 {
 	printf '{\n'
