@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet
+.PHONY: build test race bench fmt vet docslint
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,8 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# docslint runs go vet plus a relative-link check over README.md and
+# docs/*.md (the CI docs-lint job).
+docslint:
+	./scripts/docslint.sh

@@ -164,6 +164,84 @@ func BenchmarkKernelQ3(b *testing.B) {
 	}
 }
 
+// BenchmarkOnlineIngest measures the online-update subsystem on the q3
+// workload graph. "ingest100" is the amortised unit hgserve pays per bulk
+// ingest request: a 100-edge insert batch plus one snapshot publication
+// (copy-on-write partition merge, O(|V|+|E|) header copies). "compact"
+// folds a ~400-edge delta into a fresh fully-indexed base — the background
+// job the compaction threshold schedules. "match-on-delta" reruns the q3
+// kernel against a delta-carrying snapshot, pinning the read-side price of
+// merge-on-read postings.
+func BenchmarkOnlineIngest(b *testing.B) {
+	h, q := kernelWorkload()
+	const batch = 100
+	rng := rand.New(rand.NewSource(99))
+	nv := uint32(h.NumVertices())
+	edges := make([][]uint32, batch*4)
+	for i := range edges {
+		edges[i] = []uint32{rng.Uint32() % nv, rng.Uint32() % nv, rng.Uint32() % nv}
+	}
+	b.Run("ingest100", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := hypergraph.NewDeltaBuffer(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, vs := range edges[:batch] {
+				if _, _, err := d.Insert(vs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if s := d.Snapshot(); !s.HasDelta() {
+				b.Fatal("no delta published")
+			}
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d, err := hypergraph.NewDeltaBuffer(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, vs := range edges {
+				d.Insert(vs...)
+			}
+			d.Snapshot()
+			b.StartTimer()
+			if _, err := d.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("match-on-delta", func(b *testing.B) {
+		d, err := hypergraph.NewDeltaBuffer(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, vs := range edges {
+			d.Insert(vs...)
+		}
+		s := d.Snapshot()
+		p, err := core.NewPlan(q, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var emb uint64
+		for i := 0; i < b.N; i++ {
+			emb = engine.Run(p, engine.Options{Workers: 4}).Embeddings
+		}
+		if emb == 0 {
+			b.Fatal("kernel workload found nothing on the delta snapshot")
+		}
+		b.ReportMetric(float64(emb), "embeddings")
+	})
+}
+
 // BenchmarkCompile measures cold plan compilation: matching-order search
 // (Algorithm 3) plus per-step table compilation, the path every plan-cache
 // miss pays (the ~30x cold-vs-cache gap measured in PR 1 is exactly this

@@ -6,15 +6,20 @@
 // Usage:
 //
 //	hgserve -addr :8080 [-plan-cache 256] [-workers 0] [-timeout 1m]
-//	        name=path.hg [name2=path2.hg ...]
+//	        [-compact-threshold 10000] name=path.hg [name2=path2.hg ...]
 //
 // Each positional argument registers one data hypergraph (text or binary
-// .hg, sniffed) under the given name. Example session:
+// .hg, sniffed) under the given name. Registered graphs are live: new
+// hyperedges stream in over POST /graphs/{name}/edges without a restart,
+// and the delta folds into a fresh index in the background once it reaches
+// -compact-threshold edges (see docs/OPERATIONS.md). Example session:
 //
 //	hgserve fig1=testdata/fig1.hg &
 //	curl -s localhost:8080/graphs
 //	curl -s -d '{"graph":"fig1","query":"v A\nv C\ne 0 1"}' localhost:8080/count
 //	curl -sN -d '{"graph":"fig1","query":"v A\nv C\ne 0 1"}' localhost:8080/match
+//	curl -s -d '{"op":"insert","vertices":[0,3]}' localhost:8080/graphs/fig1/edges
+//	curl -s -XPOST localhost:8080/graphs/fig1/compact
 package main
 
 import (
@@ -40,6 +45,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "default engine workers per request (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", time.Minute, "default per-request engine timeout")
 		maxTime   = flag.Duration("max-timeout", 10*time.Minute, "upper bound on client-requested timeouts")
+		compactAt = flag.Int("compact-threshold", 10000,
+			"background-compact a live graph once its uncompacted delta reaches this many edges (0 = manual compaction only)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -67,10 +74,11 @@ func main() {
 		*cacheSize = -1
 	}
 	srv := server.New(reg, server.Config{
-		PlanCacheSize:  *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTime,
-		DefaultWorkers: *workers,
+		PlanCacheSize:    *cacheSize,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTime,
+		DefaultWorkers:   *workers,
+		CompactThreshold: *compactAt,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -93,4 +101,5 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("hgserve: shutdown: %v", err)
 	}
+	srv.WaitCompactions()
 }

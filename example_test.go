@@ -91,6 +91,34 @@ func ExampleBuilder() {
 	// Hypergraph{V=3 E=2 Σ=2 amax=2 a=2.0 partitions=1}
 }
 
+// ExampleDeltaBuffer_Insert grows a data hypergraph online: matching
+// always runs on an immutable snapshot, inserts become visible with the
+// next snapshot, and Compact folds the delta into a fresh base without
+// changing any result.
+func ExampleDeltaBuffer_Insert() {
+	// Data: three vertices labelled A, A, B and one (A,B) hyperedge.
+	// Query: a single (A,B) hyperedge.
+	data, _ := hgmatch.FromEdges([]hgmatch.Label{0, 0, 1}, [][]uint32{{0, 2}})
+	query, _ := hgmatch.FromEdges([]hgmatch.Label{0, 1}, [][]uint32{{0, 1}})
+
+	live, _ := hgmatch.NewDeltaBuffer(data)
+	before, _ := hgmatch.Count(query, live.Snapshot())
+
+	// Vertex 1 (A) and vertex 2 (B) gain an edge of the same signature:
+	// a second embedding appears online, no rebuild, no restart.
+	if _, added, err := live.Insert(1, 2); err != nil || !added {
+		panic("insert failed")
+	}
+	after, _ := hgmatch.Count(query, live.Snapshot())
+
+	compacted, _ := live.Compact()
+	final, _ := hgmatch.Count(query, compacted)
+
+	fmt.Println(before, after, final)
+	// Output:
+	// 1 2 2
+}
+
 // ExampleQueryKey shows the canonical query key the hgserve plan cache is
 // built on: edge declaration order does not change it.
 func ExampleQueryKey() {

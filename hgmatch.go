@@ -45,11 +45,21 @@ import (
 )
 
 // Hypergraph is an immutable, indexed, vertex-labelled hypergraph. Build
-// one with NewBuilder, FromEdges, Load or LoadFile.
+// one with NewBuilder, FromEdges, Load or LoadFile; grow one online
+// through a DeltaBuffer.
 type Hypergraph = hypergraph.Hypergraph
 
 // Builder incrementally assembles a Hypergraph.
 type Builder = hypergraph.Builder
+
+// DeltaBuffer accepts online hyperedge inserts and deletes against a base
+// Hypergraph and publishes immutable snapshots through an atomic pointer:
+// Insert/Delete/AddVertex accumulate per-signature append-side tables,
+// Snapshot returns a consistent view merging the base CSR index with the
+// sorted delta postings (matching reads it lock-free), and Compact folds
+// everything into a fresh base identical to an offline build of the same
+// live edge set. In-flight matches keep the snapshot they started on.
+type DeltaBuffer = hypergraph.DeltaBuffer
 
 // Dict interns human-readable label names.
 type Dict = hypergraph.Dict
@@ -70,6 +80,11 @@ type (
 	SigID    = hypergraph.SigID
 )
 
+// NoEdgeLabel marks a hyperedge without an edge label — the default for
+// the paper's vertex-labelled hypergraphs, and the sentinel to pass to
+// DeltaBuffer.InsertLabelled/DeleteLabelled for unlabelled edges.
+const NoEdgeLabel = hypergraph.NoEdgeLabel
+
 // Scheduler selects the parallel engine's scheduling strategy.
 type Scheduler = engine.Scheduler
 
@@ -85,6 +100,20 @@ const (
 
 // NewBuilder returns an empty hypergraph builder.
 func NewBuilder() *Builder { return hypergraph.NewBuilder() }
+
+// NewDeltaBuffer returns an online-update buffer over base. Matching
+// always runs against a snapshot:
+//
+//	buf, _ := hgmatch.NewDeltaBuffer(data)
+//	buf.Insert(v1, v2, v3)
+//	res, _ := hgmatch.Match(query, buf.Snapshot())
+//
+// Snapshots are immutable; Compact folds accumulated deltas into a fresh
+// base without interrupting readers. See cmd/hgserve for the HTTP ingest
+// surface and docs/OPERATIONS.md for compaction guidance.
+func NewDeltaBuffer(base *Hypergraph) (*DeltaBuffer, error) {
+	return hypergraph.NewDeltaBuffer(base)
+}
 
 // NewDict returns an empty label dictionary.
 func NewDict() *Dict { return hypergraph.NewDict() }
@@ -340,4 +369,4 @@ func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
 var ErrNoDicts = hgio.ErrNoDicts
 
 // Version identifies this reproduction release.
-const Version = "1.3.0"
+const Version = "1.4.0"

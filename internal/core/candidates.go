@@ -77,7 +77,16 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 				if len(sc.nonAdj) > 0 && setops.Contains(sc.nonAdj, v) {
 					continue
 				}
+				// he(v, S(eq)) is the base CSR view plus, on an online
+				// snapshot, the append-side delta view: both sorted, with
+				// every delta ID above every base ID, so the downstream
+				// unions treat them as two more ready-sorted inputs — no
+				// merge, no allocation, and a single predictable branch on
+				// compacted graphs.
 				if pl := st.part.Postings(v); len(pl) > 0 {
+					sc.lists = append(sc.lists, pl)
+				}
+				if pl := st.part.DeltaPostings(v); len(pl) > 0 {
 					sc.lists = append(sc.lists, pl)
 				}
 			}
@@ -205,6 +214,9 @@ func (p *Plan) expandRaw(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Coun
 					continue
 				}
 				if pl := st.part.Postings(v); len(pl) > 0 {
+					sc.lists = append(sc.lists, pl)
+				}
+				if pl := st.part.DeltaPostings(v); len(pl) > 0 {
 					sc.lists = append(sc.lists, pl)
 				}
 			}

@@ -112,6 +112,13 @@ func checkQuerySize(q *hypergraph.Hypergraph) error {
 	if q.NumEdges() > maxQueryEdges {
 		return fmt.Errorf("core: query has %d hyperedges, max supported is %d", q.NumEdges(), maxQueryEdges)
 	}
+	// Compilation enumerates every query edge slot, so a query snapshot
+	// with pending deletes would silently require an embedding for the
+	// deleted hyperedge. Data-side tombstones are fine (matching never
+	// produces them); query-side ones must be compacted away first.
+	if q.NumDeadEdges() > 0 {
+		return fmt.Errorf("core: query carries %d tombstoned hyperedges; compact the snapshot before compiling", q.NumDeadEdges())
+	}
 	return nil
 }
 
@@ -237,8 +244,10 @@ func (p *Plan) NumSteps() int { return len(p.Order) }
 func (p *Plan) StartPartition() *hypergraph.Partition { return p.startPart }
 
 // InitialCandidates returns the matches of the first query hyperedge:
-// every edge of the start partition (Algorithm 2 lines 2-3). The returned
-// slice is shared and must not be mutated.
+// every edge of the start partition (Algorithm 2 lines 2-3), including any
+// append-side delta members of an online snapshot (Partition.Edges is the
+// merged member list). The returned slice is shared and must not be
+// mutated.
 func (p *Plan) InitialCandidates() []hypergraph.EdgeID {
 	if p.Empty || p.startPart == nil {
 		return nil

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/setops"
 )
 
 // Binary formats: compact varint encodings for large hypergraphs where the
@@ -41,6 +42,19 @@ import (
 // Edge labels use +1 so NoEdgeLabel encodes as 0. WriteBinary emits v2;
 // v1 files continue to load (via rebuild), and WriteBinaryV1 still writes
 // them for compatibility.
+//
+// Both writers are delta-aware: an online DeltaBuffer snapshot saves
+// without compacting first. Append-side partition segments are folded into
+// the persisted posting lists on the fly (base and delta blocks are both
+// sorted with every delta ID above every base ID, so folding is a linear
+// merge that allocates nothing per list), preserving hyperedge IDs
+// exactly. Snapshots carrying tombstoned edges cannot keep their ID gaps
+// in a dense-ID file format, so they are compacted before writing — the
+// file then equals a cold offline build of the live edge set, which is
+// also what a reload of the delta snapshot would have produced.
+//
+// docs/FORMAT.md is the normative byte-level specification of both
+// versions.
 const (
 	binaryMagicV1 = "HGB1"
 	binaryMagicV2 = "HGB2"
@@ -154,8 +168,17 @@ func (w *binWriter) writeCommon(magic string, h *hypergraph.Hypergraph) error {
 	return nil
 }
 
-// WriteBinary serialises h in binary format v2, index included.
+// WriteBinary serialises h in binary format v2, index included. Online
+// snapshots save without a prior Compact: delta segments fold into the
+// posting lists as they stream out, and only tombstone-carrying snapshots
+// pay a compaction (dense IDs are part of the format).
 func WriteBinary(w io.Writer, h *hypergraph.Hypergraph) error {
+	if h.NumDeadEdges() > 0 {
+		var err error
+		if h, err = h.Compacted(); err != nil {
+			return err
+		}
+	}
 	bw := &binWriter{bw: bufio.NewWriter(w)}
 	if err := bw.writeCommon(binaryMagicV2, h); err != nil {
 		return err
@@ -176,29 +199,73 @@ func WriteBinary(w io.Writer, h *hypergraph.Hypergraph) error {
 		if err := bw.deltaSet(p.Edges); err != nil {
 			return err
 		}
-		verts := p.PostingVertices()
-		if err := bw.uv(uint64(len(verts))); err != nil {
+		if err := bw.writePostings(p); err != nil {
 			return err
-		}
-		if err := bw.deltaSet(verts); err != nil {
-			return err
-		}
-		for i := range verts {
-			l := p.PostingsAt(i)
-			if err := bw.uv(uint64(len(l))); err != nil {
-				return err
-			}
-			if err := bw.deltaSet(l); err != nil {
-				return err
-			}
 		}
 	}
 	return bw.bw.Flush()
 }
 
+// writePostings emits one partition's CSR section: the merged vertex
+// dictionary followed by each vertex's full posting list, folding the
+// delta block into the base block as the bytes stream out; base-only
+// partitions take the plain fast path.
+func (w *binWriter) writePostings(p *hypergraph.Partition) error {
+	bverts, dverts := p.PostingVertices(), p.DeltaPostingVertices()
+	if len(dverts) == 0 {
+		if err := w.uv(uint64(len(bverts))); err != nil {
+			return err
+		}
+		if err := w.deltaSet(bverts); err != nil {
+			return err
+		}
+		for i := range bverts {
+			l := p.PostingsAt(i)
+			if err := w.uv(uint64(len(l))); err != nil {
+				return err
+			}
+			if err := w.deltaSet(l); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Materialise the merged vertex dictionary (sorted-set union), then
+	// stream it and each vertex's full posting list through the one
+	// canonical deltaSet encoder. The full posting list of v is
+	// base ++ delta: both sorted, every delta ID above every base ID, so
+	// concatenation IS the merge. Save-path-only, so the scratch
+	// allocations are irrelevant.
+	merged := setops.Union(nil, bverts, dverts)
+	if err := w.uv(uint64(len(merged))); err != nil {
+		return err
+	}
+	if err := w.deltaSet(merged); err != nil {
+		return err
+	}
+	var list []hypergraph.EdgeID
+	for _, v := range merged {
+		list = append(append(list[:0], p.Postings(v)...), p.DeltaPostings(v)...)
+		if err := w.uv(uint64(len(list))); err != nil {
+			return err
+		}
+		if err := w.deltaSet(list); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteBinaryV1 serialises h in the legacy v1 format (no index section);
-// v1 files rebuild their index on load.
+// v1 files rebuild their index on load. Tombstone-carrying online
+// snapshots are compacted first, like WriteBinary.
 func WriteBinaryV1(w io.Writer, h *hypergraph.Hypergraph) error {
+	if h.NumDeadEdges() > 0 {
+		var err error
+		if h, err = h.Compacted(); err != nil {
+			return err
+		}
+	}
 	bw := &binWriter{bw: bufio.NewWriter(w)}
 	if err := bw.writeCommon(binaryMagicV1, h); err != nil {
 		return err

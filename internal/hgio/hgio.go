@@ -97,12 +97,15 @@ func parseVertices(tokens []string, numVertices, lineNo int) ([]uint32, error) {
 // L<id>.
 func Write(w io.Writer, h *hypergraph.Hypergraph) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# hgmatch hypergraph: %d vertices, %d edges\n", h.NumVertices(), h.NumEdges())
+	fmt.Fprintf(bw, "# hgmatch hypergraph: %d vertices, %d edges\n", h.NumVertices(), h.NumLiveEdges())
 	for v := 0; v < h.NumVertices(); v++ {
 		fmt.Fprintf(bw, "v %s\n", labelName(h.Dict(), h.Label(uint32(v))))
 	}
 	for e := 0; e < h.NumEdges(); e++ {
 		id := hypergraph.EdgeID(e)
+		if h.IsDeadEdge(id) {
+			continue // tombstoned online slot: a reload gets the live set
+		}
 		if el := h.EdgeLabel(id); el != hypergraph.NoEdgeLabel {
 			fmt.Fprintf(bw, "el %s", labelName(h.EdgeDict(), el))
 		} else {

@@ -82,7 +82,10 @@ type MatchSummary struct {
 // GET /graphs/{name}/stats). The stat fields are the paper's Table II
 // columns as computed by hypergraph.ComputeStats, plus the storage-layer
 // index shape: interned signature count, CSR inverted-index footprint
-// (index_bytes) and the signature hash table's footprint.
+// (index_bytes) and the signature hash table's footprint. For graphs
+// receiving online updates, delta_edges/dead_edges report the uncompacted
+// append-side and tombstoned volume of the current snapshot (num_edges
+// already excludes tombstones).
 type GraphInfo struct {
 	Name          string  `json:"name"`
 	NumVertices   int     `json:"num_vertices"`
@@ -95,6 +98,8 @@ type GraphInfo struct {
 	IndexBytes    int     `json:"index_bytes"`
 	GraphBytes    int     `json:"graph_bytes"`
 	SigTableBytes int     `json:"sig_table_bytes"`
+	DeltaEdges    int     `json:"delta_edges,omitempty"`
+	DeadEdges     int     `json:"dead_edges,omitempty"`
 }
 
 // GraphInfoFor assembles a GraphInfo from a graph and its registry name.
@@ -112,7 +117,59 @@ func GraphInfoFor(name string, h *hypergraph.Hypergraph) GraphInfo {
 		IndexBytes:    s.IndexBytes,
 		GraphBytes:    s.GraphBytes,
 		SigTableBytes: s.SigTableBytes,
+		DeltaEdges:    s.DeltaEdges,
+		DeadEdges:     s.DeadEdges,
 	}
+}
+
+// IngestRecord is one NDJSON line of a POST /graphs/{name}/edges request
+// body. Ops:
+//
+//	insert      add the hyperedge over Vertices (default when Vertices set)
+//	delete      remove the hyperedge with exactly that vertex set
+//	add_vertex  append a vertex carrying Label (numeric) or LabelName
+//	            (resolved against the graph's dictionary)
+//
+// EdgeLabel applies to insert/delete of edge-labelled hyperedges (the
+// paper's footnote-2 extension); omit it for vertex-labelled graphs.
+type IngestRecord struct {
+	Op        string   `json:"op,omitempty"`
+	Vertices  []uint32 `json:"vertices,omitempty"`
+	Label     *uint32  `json:"label,omitempty"`
+	LabelName string   `json:"label_name,omitempty"`
+	EdgeLabel *uint32  `json:"edge_label,omitempty"`
+}
+
+// IngestSummary is the JSON response of POST /graphs/{name}/edges: what
+// each line did, plus the published snapshot's version and its pending
+// delta volume (the numbers compaction thresholds watch). Ingest is not
+// transactional: a failed request reports the same summary with Done
+// false and Error set, its counts covering the lines applied (and
+// published) before the failing one.
+type IngestSummary struct {
+	Done          bool   `json:"done"`
+	Error         string `json:"error,omitempty"`
+	Lines         int    `json:"lines"`
+	Inserted      int    `json:"inserted"`
+	Duplicates    int    `json:"duplicates"`
+	Deleted       int    `json:"deleted"`
+	Missing       int    `json:"missing"`
+	VerticesAdded int    `json:"vertices_added"`
+	PendingEdges  int    `json:"pending_edges"`
+	DeadEdges     int    `json:"dead_edges"`
+	Version       uint64 `json:"version"`
+	Compacting    bool   `json:"compacting,omitempty"`
+	ElapsedUs     int64  `json:"elapsed_us"`
+}
+
+// CompactSummary is the JSON response of POST /graphs/{name}/compact.
+type CompactSummary struct {
+	Done        bool   `json:"done"`
+	Edges       int    `json:"edges"`
+	FoldedEdges int    `json:"folded_edges"`
+	Dropped     int    `json:"dropped_edges"`
+	Version     uint64 `json:"version"`
+	ElapsedUs   int64  `json:"elapsed_us"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx hgserve response.

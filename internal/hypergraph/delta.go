@@ -1,0 +1,695 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hgmatch/internal/setops"
+)
+
+// DeltaBuffer is the online-update subsystem: it accepts hyperedge inserts
+// and deletes against an immutable base Hypergraph and serves consistent,
+// immutable snapshots that matching reads lock-free.
+//
+// Writes accumulate in per-signature append-side tables (pending edges are
+// deduplicated against both the base and each other through the same
+// interner machinery the offline Builder uses, so online ingest preserves
+// the simple-hypergraph invariant). Snapshot publication is copy-on-write
+// and incremental: untouched partitions are shared by reference with the
+// base, partitions that gained edges get an append-side delta CSR segment
+// (see Partition), and partitions that lost edges have their base segment
+// rebuilt without the tombstoned members. The published *Hypergraph hangs
+// off an atomic pointer — an MVCC epoch handoff: a match that started on
+// snapshot N keeps reading N while N+1 serves new requests, with no locks
+// anywhere on the match hot path.
+//
+// Compact folds all pending state into a fresh fully-indexed base (the
+// exact graph an offline Builder run over the same live edge set would
+// produce) and resets the buffer. Hyperedge IDs are stable across
+// publications; compaction renumbers only when deletes occurred.
+//
+// Writers (Insert, Delete, AddVertex, Compact) serialise on an internal
+// mutex; readers never block writers and writers never block readers.
+type DeltaBuffer struct {
+	mu   sync.Mutex
+	base *Hypergraph
+
+	snap       atomic.Pointer[Hypergraph]
+	dirty      atomic.Bool
+	pubVersion atomic.Uint64
+
+	labels   []Label       // full vertex-label table (base prefix + added)
+	pend     []pendingEdge // pending inserts; slot i has hyperedge ID base.NumEdges()+i
+	pendDead []bool        // pending slots deleted again before compaction
+	pendTab  *u32Interner  // (edge label, sorted vertex set) -> pending slot
+	livePend int
+	dead     map[EdgeID]struct{} // tombstoned base edges
+}
+
+type pendingEdge struct {
+	vs    []uint32
+	label Label
+}
+
+// NewDeltaBuffer returns a buffer over base. A delta-carrying snapshot is
+// compacted first so the buffer always grows from a fully-indexed base;
+// version numbering continues from the snapshot's.
+func NewDeltaBuffer(base *Hypergraph) (*DeltaBuffer, error) {
+	if base == nil {
+		return nil, fmt.Errorf("hypergraph: nil base")
+	}
+	if base.HasDelta() {
+		var err error
+		if base, err = base.Compacted(); err != nil {
+			return nil, err
+		}
+	}
+	d := &DeltaBuffer{
+		base:    base,
+		labels:  base.labels[:len(base.labels):len(base.labels)],
+		pendTab: newU32Interner(16),
+		dead:    make(map[EdgeID]struct{}),
+	}
+	d.pubVersion.Store(base.deltaVersion)
+	d.snap.Store(base)
+	return d, nil
+}
+
+// Base returns the most recently compacted base graph.
+func (d *DeltaBuffer) Base() *Hypergraph {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.base
+}
+
+// Snapshot returns the current consistent view, publishing pending writes
+// first when that costs no waiting. It NEVER blocks: when a writer holds
+// the buffer (a bulk ingest mid-batch, a compaction folding the delta),
+// the latest published view is returned immediately and the pending
+// writes appear at that writer's own publication — readers are never
+// parked behind an O(|E|) rebuild. The returned graph is immutable and
+// remains valid (and correct for its epoch) however long the caller holds
+// it; repeated calls without intervening writes return the identical
+// pointer, so plan caches can key on Snapshot().DeltaVersion().
+func (d *DeltaBuffer) Snapshot() *Hypergraph {
+	if d.dirty.Load() && d.mu.TryLock() {
+		if d.dirty.Load() {
+			d.publishLocked()
+		}
+		d.mu.Unlock()
+	}
+	return d.snap.Load()
+}
+
+// Publish is the writer-side Snapshot: it blocks until pending writes are
+// published and returns the resulting view. Ingest paths that must report
+// "your writes are now live" call this; read paths use Snapshot.
+func (d *DeltaBuffer) Publish() *Hypergraph {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dirty.Load() {
+		d.publishLocked()
+	}
+	return d.snap.Load()
+}
+
+// Version returns the publication counter of the current snapshot; it bumps
+// on every Snapshot that had pending writes and on every Compact.
+func (d *DeltaBuffer) Version() uint64 { return d.Snapshot().DeltaVersion() }
+
+// PendingEdges returns the number of live pending (uncompacted) inserts —
+// the quantity compaction thresholds watch.
+func (d *DeltaBuffer) PendingEdges() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.livePend
+}
+
+// TombstonedEdges returns the number of deletions awaiting compaction
+// (tombstoned base edges plus deleted pending inserts).
+func (d *DeltaBuffer) TombstonedEdges() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.dead) + (len(d.pend) - d.livePend)
+}
+
+// AddVertex appends a vertex with the given label and returns its ID. The
+// vertex becomes visible with the next snapshot publication.
+func (d *DeltaBuffer) AddVertex(l Label) VertexID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.labels = append(d.labels, l)
+	d.dirty.Store(true)
+	return VertexID(len(d.labels) - 1)
+}
+
+// NumVertices returns the vertex count including not-yet-published adds.
+func (d *DeltaBuffer) NumVertices() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.labels)
+}
+
+// Insert adds a hyperedge over the given vertices. The vertex list is
+// normalised (sorted, duplicates removed) exactly like the Builder does.
+// It returns the hyperedge's stable ID and whether the graph changed:
+// inserting an edge that already exists (in the base or pending) returns
+// its existing ID with added=false; inserting an edge whose tombstone is
+// pending resurrects it.
+func (d *DeltaBuffer) Insert(vertices ...uint32) (EdgeID, bool, error) {
+	return d.InsertLabelled(NoEdgeLabel, vertices...)
+}
+
+// InsertLabelled is Insert for a hyperedge carrying an edge label (the
+// paper's footnote-2 extension). Mixing labelled and unlabelled edges is
+// allowed, as in the Builder.
+func (d *DeltaBuffer) InsertLabelled(el Label, vertices ...uint32) (EdgeID, bool, error) {
+	vs, err := d.normalise(vertices)
+	if err != nil {
+		return 0, false, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(vs[len(vs)-1]) >= len(d.labels) {
+		return 0, false, fmt.Errorf("hypergraph: insert references unknown vertex %d", vs[len(vs)-1])
+	}
+	if e, ok := d.base.findEdgeLabelled(el, vs); ok {
+		if _, tomb := d.dead[e]; tomb {
+			delete(d.dead, e) // resurrection: the tombstone is withdrawn
+			d.dirty.Store(true)
+			return e, true, nil
+		}
+		return e, false, nil
+	}
+	nb := EdgeID(d.base.NumEdges())
+	if slot, ok := d.pendTab.lookup(uint32(el), vs); ok {
+		if d.pendDead[slot] {
+			d.pendDead[slot] = false
+			d.livePend++
+			d.dirty.Store(true)
+			return nb + EdgeID(slot), true, nil
+		}
+		return nb + EdgeID(slot), false, nil
+	}
+	slot, _ := d.pendTab.intern(uint32(el), vs)
+	d.pend = append(d.pend, pendingEdge{vs: vs, label: el})
+	d.pendDead = append(d.pendDead, false)
+	d.livePend++
+	d.dirty.Store(true)
+	return nb + EdgeID(slot), true, nil
+}
+
+// Delete removes the hyperedge with exactly the given vertex set, if
+// present, and reports whether anything was removed. Deleting a base edge
+// tombstones its ID slot until the next compaction; deleting a pending
+// insert cancels it.
+func (d *DeltaBuffer) Delete(vertices ...uint32) (bool, error) {
+	return d.DeleteLabelled(NoEdgeLabel, vertices...)
+}
+
+// DeleteLabelled is Delete for a labelled hyperedge.
+func (d *DeltaBuffer) DeleteLabelled(el Label, vertices ...uint32) (bool, error) {
+	vs, err := d.normalise(vertices)
+	if err != nil {
+		return false, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.base.findEdgeLabelled(el, vs); ok {
+		if _, tomb := d.dead[e]; tomb {
+			return false, nil
+		}
+		d.dead[e] = struct{}{}
+		d.dirty.Store(true)
+		return true, nil
+	}
+	if slot, ok := d.pendTab.lookup(uint32(el), vs); ok && !d.pendDead[slot] {
+		d.pendDead[slot] = true
+		d.livePend--
+		d.dirty.Store(true)
+		return true, nil
+	}
+	return false, nil
+}
+
+// Compact folds every pending insert and delete into a fresh, fully
+// compacted base — byte-for-byte the graph an offline Builder run over the
+// same live edge set would produce — publishes it, and resets the buffer.
+// In-flight matches keep the snapshot they started on (epoch handoff);
+// only writers block for the duration. Hyperedge IDs are preserved when no
+// deletes are pending; with deletes, live edges are renumbered densely in
+// prior ID order, as a cold rebuild of the same edge set would.
+func (d *DeltaBuffer) Compact() (*Hypergraph, error) {
+	nh, _, _, err := d.CompactCounted()
+	return nh, err
+}
+
+// CompactCounted is Compact reporting, atomically with the fold itself,
+// how many pending inserts it folded in and how many tombstones it
+// dropped — the numbers a serving layer returns to the caller that
+// triggered the compaction (reading them outside the fold races with
+// concurrent ingest).
+func (d *DeltaBuffer) CompactCounted() (nh *Hypergraph, folded, dropped int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	folded = d.livePend
+	dropped = len(d.dead) + (len(d.pend) - d.livePend)
+	if len(d.pend) == 0 && len(d.dead) == 0 && len(d.labels) == len(d.base.labels) &&
+		d.snap.Load() == d.base && !d.dirty.Load() {
+		// Truly idle (the base IS the published snapshot): keep it and its
+		// version, so a periodic compaction neither copies the graph nor
+		// invalidates cached plans. When the published snapshot has
+		// diverged despite empty pending state (e.g. a delete + resurrect
+		// cycle left a stale tombstoned view current), fall through to the
+		// full rebuild: versions must never move backwards.
+		return d.base, folded, dropped, nil
+	}
+	isDead := func(e EdgeID) bool { _, tomb := d.dead[e]; return tomb }
+	nh, err = rebuildLive(d.base, d.labels, isDead, d.pend, d.pendDead)
+	if err != nil {
+		return nil, 0, 0, err // unreachable: every input was validated on entry
+	}
+	nh.deltaVersion = d.pubVersion.Add(1)
+	d.base = nh
+	d.labels = nh.labels[:len(nh.labels):len(nh.labels)]
+	d.pend, d.pendDead, d.livePend = nil, nil, 0
+	d.pendTab = newU32Interner(16)
+	d.dead = make(map[EdgeID]struct{})
+	d.snap.Store(nh)
+	d.dirty.Store(false)
+	return nh, folded, dropped, nil
+}
+
+// normalise sorts and dedups an insert/delete vertex list into a private
+// copy (pending slices are retained by published snapshots).
+func (d *DeltaBuffer) normalise(vertices []uint32) ([]uint32, error) {
+	if len(vertices) == 0 {
+		return nil, fmt.Errorf("hypergraph: empty hyperedge")
+	}
+	vs := append([]uint32(nil), vertices...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return setops.Dedup(vs), nil
+}
+
+// publishLocked builds and publishes a fresh snapshot from base + pending
+// state. Cost is O(|V| + |E|) slice-header copies plus work proportional
+// to the touched partitions and the delta itself; everything untouched is
+// shared by reference with the base.
+func (d *DeltaBuffer) publishLocked() {
+	base := d.base
+	nb := len(base.edges)
+	nPend := len(d.pend)
+
+	h := &Hypergraph{
+		dict:     base.dict,
+		edgeDict: base.edgeDict,
+		delta:    d.livePend > 0 || len(d.dead) > 0 || nPend > d.livePend,
+	}
+	// d.labels is append-only; the full slice expression makes later
+	// AddVertex appends copy rather than scribble on this snapshot.
+	h.labels = d.labels[:len(d.labels):len(d.labels)]
+
+	// Edge table: share the base prefix, append every pending slot (dead
+	// ones too — ID slots are stable until compaction).
+	edges := base.edges[:nb:nb]
+	hasEL := base.edgeLabels != nil
+	for _, pe := range d.pend {
+		edges = append(edges, pe.vs)
+		if pe.label != NoEdgeLabel {
+			hasEL = true
+		}
+	}
+	h.edges = edges
+	if hasEL {
+		els := make([]Label, 0, len(edges))
+		if base.edgeLabels != nil {
+			els = append(els, base.edgeLabels...)
+		} else {
+			for i := 0; i < nb; i++ {
+				els = append(els, NoEdgeLabel)
+			}
+		}
+		for _, pe := range d.pend {
+			els = append(els, pe.label)
+		}
+		h.edgeLabels = els
+	}
+
+	isDeadBase := func(e EdgeID) bool { _, ok := d.dead[e]; return ok }
+
+	// Tombstone list.
+	dead := make([]EdgeID, 0, len(d.dead)+(nPend-d.livePend))
+	for e := range d.dead {
+		dead = append(dead, e)
+	}
+	for i, dd := range d.pendDead {
+		if dd {
+			dead = append(dead, EdgeID(nb+i))
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	h.dead = dead
+
+	// Arity aggregates over live edges only.
+	for e, vs := range edges {
+		if e < nb {
+			if isDeadBase(EdgeID(e)) {
+				continue
+			}
+		} else if d.pendDead[e-nb] {
+			continue
+		}
+		h.totalArity += len(vs)
+		if len(vs) > h.maxArity {
+			h.maxArity = len(vs)
+		}
+	}
+
+	// Incidence: copy the header array, then rebuild only the lists of
+	// vertices touched by tombstoned base edges or live pending edges.
+	// Pending IDs all exceed base IDs, so appends keep lists sorted.
+	inc := make([][]uint32, len(h.labels))
+	copy(inc, base.incidence)
+	addInc := make(map[VertexID][]EdgeID)
+	touched := make(map[VertexID]struct{})
+	for i, pe := range d.pend {
+		if d.pendDead[i] {
+			continue
+		}
+		id := EdgeID(nb + i)
+		for _, v := range pe.vs {
+			addInc[v] = append(addInc[v], id)
+			touched[v] = struct{}{}
+		}
+	}
+	for e := range d.dead {
+		for _, v := range base.edges[e] {
+			touched[v] = struct{}{}
+		}
+	}
+	for v := range touched {
+		var nl []uint32
+		if int(v) < len(base.incidence) {
+			for _, e := range base.incidence[v] {
+				if !isDeadBase(e) {
+					nl = append(nl, e)
+				}
+			}
+		}
+		inc[v] = append(nl, addInc[v]...)
+	}
+	h.incidence = inc
+
+	// Group live pending edges by (edge label, signature), interning new
+	// signatures into a copy-on-write clone of the base's table.
+	sigTab := base.sigTab
+	if sigTab == nil {
+		sigTab = newU32Interner(16)
+	}
+	sigShared := sigTab == base.sigTab
+	type group struct {
+		sigID SigID
+		elbl  Label
+		ids   []EdgeID
+	}
+	byKey := make(map[uint64]int)
+	var groups []*group
+	var sigBuf Signature
+	for i, pe := range d.pend {
+		if d.pendDead[i] {
+			continue
+		}
+		sigBuf = AppendSignature(sigBuf[:0], pe.vs, h.labels)
+		id, ok := sigTab.lookup(0, sigBuf)
+		if !ok {
+			if sigShared {
+				sigTab = sigTab.clone()
+				sigShared = false
+			}
+			id, _ = sigTab.intern(0, append(Signature(nil), sigBuf...))
+		}
+		key := uint64(pe.label)<<32 | uint64(id)
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(groups)
+			byKey[key] = gi
+			groups = append(groups, &group{sigID: id, elbl: pe.label})
+		}
+		groups[gi].ids = append(groups[gi].ids, EdgeID(nb+i))
+	}
+	// Deterministic ordering for appended partitions (the canonical
+	// (edge label, signature) order the Builder uses).
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].elbl != groups[j].elbl {
+			return groups[i].elbl < groups[j].elbl
+		}
+		return sigLess(Signature(sigTab.body(groups[i].sigID)), Signature(sigTab.body(groups[j].sigID)))
+	})
+
+	parts := make([]*Partition, len(base.partitions))
+	copy(parts, base.partitions)
+
+	// Rebuild the base segment of every partition holding tombstones.
+	droppedAny, appendedAny := false, false
+	if len(d.dead) > 0 {
+		delParts := make(map[uint32]struct{})
+		for e := range d.dead {
+			delParts[base.edgePart[e]] = struct{}{}
+		}
+		for pi := range delParts {
+			bp := base.partitions[pi]
+			var live []EdgeID
+			for _, e := range bp.Edges {
+				if !isDeadBase(e) {
+					live = append(live, e)
+				}
+			}
+			if len(live) == 0 {
+				parts[pi] = nil // fully emptied; dropped below
+				droppedAny = true
+				continue
+			}
+			np := &Partition{Sig: bp.Sig, SigID: bp.SigID, EdgeLabel: bp.EdgeLabel, Edges: live}
+			np.setCSR(buildSegmentCSR(edges, live))
+			parts[pi] = np
+		}
+	}
+
+	// Attach the append-side segments. Without tombstones, partition
+	// indices cannot shift (nothing is dropped, new tables only append),
+	// so the edge→partition table extends by memcpy instead of a full
+	// walk over every partition's members; pendPart collects the new
+	// entries as groups land.
+	var pendPart []uint32
+	if len(d.dead) == 0 && nPend > 0 {
+		pendPart = make([]uint32, nPend)
+	}
+	record := func(g *group, idx int) {
+		if pendPart != nil {
+			for _, e := range g.ids {
+				pendPart[int(e)-nb] = uint32(idx)
+			}
+		}
+	}
+	for _, g := range groups {
+		pi := int32(-1)
+		if g.elbl == NoEdgeLabel {
+			if int(g.sigID) < len(base.sigParts) {
+				pi = base.sigParts[g.sigID]
+			}
+		} else if base.labelledParts != nil {
+			if x, ok := base.labelledParts[uint64(g.elbl)<<32|uint64(g.sigID)]; ok {
+				pi = x
+			}
+		}
+		dv, do, dp := buildSegmentCSR(edges, g.ids)
+		switch {
+		case pi >= 0 && parts[pi] != nil:
+			bp := parts[pi] // base partition, or its tombstone-filtered rebuild
+			np := &Partition{
+				Sig: bp.Sig, SigID: bp.SigID, EdgeLabel: bp.EdgeLabel,
+				Edges: append(bp.Edges[:len(bp.Edges):len(bp.Edges)], g.ids...),
+			}
+			np.setCSR(bp.verts, bp.offsets, bp.posts)
+			np.setDeltaCSR(len(g.ids), dv, do, dp)
+			parts[pi] = np
+			record(g, int(pi))
+		case pi >= 0:
+			// Every base member was tombstoned; the reborn table is all
+			// online edges, carried as a delta segment over an empty base
+			// so uncompacted volume stays visible to Stats.DeltaEdges.
+			bp := base.partitions[pi]
+			np := &Partition{Sig: bp.Sig, SigID: bp.SigID, EdgeLabel: bp.EdgeLabel, Edges: g.ids}
+			np.setDeltaCSR(len(g.ids), dv, do, dp)
+			parts[pi] = np
+		default:
+			// First table of a signature never seen offline: likewise all
+			// delta, so Stats.DeltaEdges == the buffer's pending count.
+			np := &Partition{Sig: Signature(sigTab.body(g.sigID)), SigID: g.sigID, EdgeLabel: g.elbl, Edges: g.ids}
+			np.setDeltaCSR(len(g.ids), dv, do, dp)
+			parts = append(parts, np)
+			appendedAny = true
+			record(g, len(parts)-1)
+		}
+	}
+
+	// Drop fully-emptied partitions and rebuild the lookup tables.
+	np := 0
+	for _, p := range parts {
+		if p != nil {
+			parts[np] = p
+			np++
+		}
+	}
+	parts = parts[:np]
+	h.partitions = parts
+	if len(d.dead) == 0 {
+		// Tombstone-free publication: base partition indices are intact,
+		// so the prefix copies by append (a memcpy, or pure sharing when
+		// nothing is pending) and only the pending entries are new. Dead
+		// pending slots keep a zero entry — tombstones have no partition.
+		h.edgePart = append(base.edgePart[:nb:nb], pendPart...)
+	} else {
+		h.edgePart = make([]uint32, len(edges))
+		for pi, p := range parts {
+			for _, e := range p.Edges {
+				h.edgePart[e] = uint32(pi)
+			}
+		}
+	}
+	h.sigTab = sigTab
+	if sigShared && !droppedAny && !appendedAny {
+		// No partition was added, dropped or re-signed: the (signature,
+		// edge label) → index mappings are bit-identical to the base's
+		// and shared by reference, like every other untouched structure.
+		h.sigParts = base.sigParts
+		h.labelledParts = base.labelledParts
+	} else {
+		h.sigParts = make([]int32, sigTab.len())
+		for i := range h.sigParts {
+			h.sigParts[i] = -1
+		}
+		for pi, p := range parts {
+			if p.EdgeLabel == NoEdgeLabel {
+				h.sigParts[p.SigID] = int32(pi)
+			} else {
+				if h.labelledParts == nil {
+					h.labelledParts = make(map[uint64]int32)
+				}
+				h.labelledParts[uint64(p.EdgeLabel)<<32|uint64(p.SigID)] = int32(pi)
+			}
+		}
+	}
+
+	if len(h.labels) != len(base.labels) {
+		h.countLabels()
+	} else {
+		h.numLabels = base.numLabels
+	}
+
+	h.deltaVersion = d.pubVersion.Add(1)
+	d.snap.Store(h)
+	d.dirty.Store(false)
+}
+
+// buildSegmentCSR constructs one canonical CSR block over the given member
+// edges: sorted vertex dictionary, spanning offsets, posting lists sorted
+// because members arrive in ascending ID order. Off the hot path — it runs
+// only at snapshot publication, for touched partitions.
+func buildSegmentCSR(edges [][]uint32, members []EdgeID) (verts []VertexID, offsets []uint32, posts []EdgeID) {
+	lists := make(map[VertexID][]EdgeID)
+	total := 0
+	for _, e := range members {
+		for _, v := range edges[e] {
+			lists[v] = append(lists[v], e)
+			total++
+		}
+	}
+	verts = make([]VertexID, 0, len(lists))
+	for v := range lists {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	offsets = make([]uint32, 0, len(verts)+1)
+	posts = make([]EdgeID, 0, total)
+	for _, v := range verts {
+		offsets = append(offsets, uint32(len(posts)))
+		posts = append(posts, lists[v]...)
+	}
+	offsets = append(offsets, uint32(len(posts)))
+	return verts, offsets, posts
+}
+
+// findEdgeLabelled returns the ID of the hyperedge with exactly the given
+// (edge label, sorted vertex set), if present; the label-aware FindEdge
+// used by online dedup.
+func (h *Hypergraph) findEdgeLabelled(el Label, vertices []uint32) (EdgeID, bool) {
+	if len(vertices) == 0 || int(vertices[0]) >= len(h.incidence) {
+		return 0, false
+	}
+	best := vertices[0]
+	for _, v := range vertices[1:] {
+		if int(v) >= len(h.incidence) {
+			return 0, false
+		}
+		if len(h.incidence[v]) < len(h.incidence[best]) {
+			best = v
+		}
+	}
+	for _, e := range h.incidence[best] {
+		if h.EdgeLabel(e) == el && setops.Equal(h.edges[e], vertices) {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// Compacted returns a fully compacted equivalent of h: the graph an
+// offline Builder run over h's live edge set would produce. Offline-built
+// graphs return themselves; online snapshots are rebuilt, with hyperedge
+// IDs renumbered densely (in prior ID order) when tombstones exist.
+func (h *Hypergraph) Compacted() (*Hypergraph, error) {
+	if !h.delta && len(h.dead) == 0 {
+		return h, nil
+	}
+	nh, err := rebuildLive(h, h.labels, h.IsDeadEdge, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	nh.deltaVersion = h.deltaVersion
+	return nh, nil
+}
+
+// rebuildLive runs the offline Builder over a live edge set: src's edges
+// minus the ones isDead reports, plus the live entries of extra — the one
+// rebuild sequence behind both Compact and Compacted, so "compaction ==
+// cold offline build" is a single code path. labels is the full vertex
+// table (src's, possibly extended by online AddVertex calls).
+func rebuildLive(src *Hypergraph, labels []Label, isDead func(EdgeID) bool, extra []pendingEdge, extraDead []bool) (*Hypergraph, error) {
+	b := NewBuilder().WithDicts(src.dict, src.edgeDict)
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	addEdge := func(el Label, vs []uint32) {
+		if el != NoEdgeLabel {
+			b.AddLabelledEdge(el, vs...)
+		} else {
+			b.AddEdge(vs...)
+		}
+	}
+	for e, vs := range src.edges {
+		if isDead(EdgeID(e)) {
+			continue
+		}
+		addEdge(src.EdgeLabel(EdgeID(e)), vs)
+	}
+	for i, pe := range extra {
+		if extraDead[i] {
+			continue
+		}
+		addEdge(pe.label, pe.vs)
+	}
+	return b.Build()
+}

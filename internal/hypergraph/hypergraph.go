@@ -4,8 +4,14 @@
 // inverted hyperedge index mapping vertices to posting lists of incident
 // hyperedge IDs.
 //
-// A Hypergraph is immutable once built (HGMatch builds no auxiliary
-// structure at runtime; the indexed hypergraph is created once offline).
+// A Hypergraph value is immutable: readers never lock, and a compiled plan
+// may be shared by any number of workers. Online updates do not mutate a
+// Hypergraph — they go through a DeltaBuffer, which accepts inserts and
+// deletes into per-signature append-side tables and publishes fresh
+// immutable snapshots through an atomic pointer (MVCC: in-flight matches
+// keep the snapshot they started on). HGMatch itself builds no auxiliary
+// structure at match time; the indexed hypergraph is created offline or by
+// snapshot publication.
 package hypergraph
 
 import (
@@ -56,13 +62,55 @@ type Hypergraph struct {
 	numLabels  int
 	totalArity int
 	maxArity   int
+
+	// Online-snapshot state (zero for offline-built graphs). dead lists
+	// tombstoned hyperedge IDs: the slots stay in edges (IDs are never
+	// renumbered between compactions) but the edges belong to no partition
+	// and no incidence list, so matching never sees them. delta marks the
+	// graph as a DeltaBuffer snapshot (some partitions may carry
+	// append-side segments); deltaVersion is the buffer's publication
+	// counter, letting (snapshot, version) travel as one consistent pair.
+	dead         []EdgeID // sorted tombstoned edge IDs
+	delta        bool
+	deltaVersion uint64
 }
 
 // NumVertices returns |V(H)|.
 func (h *Hypergraph) NumVertices() int { return len(h.labels) }
 
-// NumEdges returns |E(H)|.
+// NumEdges returns the size of the hyperedge ID space, [0, NumEdges).
+// On an online snapshot this includes tombstoned slots; NumLiveEdges
+// excludes them (the two agree on offline-built graphs).
 func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// NumLiveEdges returns |E(H)|: the number of non-tombstoned hyperedges.
+func (h *Hypergraph) NumLiveEdges() int { return len(h.edges) - len(h.dead) }
+
+// NumDeadEdges returns the number of tombstoned hyperedge slots awaiting
+// compaction (always 0 on offline-built graphs).
+func (h *Hypergraph) NumDeadEdges() int { return len(h.dead) }
+
+// DeadEdges returns the sorted tombstoned hyperedge IDs. Callers must not
+// mutate it.
+func (h *Hypergraph) DeadEdges() []EdgeID { return h.dead }
+
+// IsDeadEdge reports whether e is a tombstoned slot. Not a hot-path
+// operation: matching never produces dead edges, so embeddings need no
+// per-result liveness checks.
+func (h *Hypergraph) IsDeadEdge(e EdgeID) bool {
+	return setops.Contains(h.dead, e)
+}
+
+// HasDelta reports whether h is an online snapshot carrying uncompacted
+// state: append-side partition segments and/or tombstoned edges. Such
+// graphs match exactly like compacted ones; only whole-index consumers
+// (binary save, Compacted) care.
+func (h *Hypergraph) HasDelta() bool { return h.delta }
+
+// DeltaVersion returns the DeltaBuffer publication counter this snapshot
+// was produced at (0 for offline-built graphs). Serving layers combine it
+// with the graph name to key plan caches.
+func (h *Hypergraph) DeltaVersion() uint64 { return h.deltaVersion }
 
 // NumLabels returns |Σ|, the number of distinct vertex labels in use.
 func (h *Hypergraph) NumLabels() int { return h.numLabels }
@@ -83,15 +131,17 @@ func (h *Hypergraph) Arity(e EdgeID) int { return len(h.edges[e]) }
 // MaxArity returns a_max over all hyperedges (0 for an edgeless graph).
 func (h *Hypergraph) MaxArity() int { return h.maxArity }
 
-// AvgArity returns a_H, the average hyperedge arity.
+// AvgArity returns a_H, the average arity over live hyperedges.
 func (h *Hypergraph) AvgArity() float64 {
-	if len(h.edges) == 0 {
+	live := h.NumLiveEdges()
+	if live == 0 {
 		return 0
 	}
-	return float64(h.totalArity) / float64(len(h.edges))
+	return float64(h.totalArity) / float64(live)
 }
 
-// TotalArity returns Σ_e a(e) — the total storage cells of all edge tables.
+// TotalArity returns Σ_e a(e) over live hyperedges — the total storage
+// cells of all edge tables.
 func (h *Hypergraph) TotalArity() int { return h.totalArity }
 
 // Incident returns he(v): the sorted edge IDs of all hyperedges incident to
@@ -277,8 +327,13 @@ func (h *Hypergraph) String() string {
 }
 
 // Validate checks structural invariants; it is meant for tests and loaders,
-// not hot paths. It returns the first violation found.
+// not hot paths. It returns the first violation found. Tombstoned slots of
+// online snapshots are required to be absent from every incidence list and
+// partition; the remaining invariants apply to live edges only.
 func (h *Hypergraph) Validate() error {
+	if !setops.IsSorted(h.dead) {
+		return fmt.Errorf("tombstone list not sorted")
+	}
 	seen := make(map[string]EdgeID, len(h.edges))
 	for e, vs := range h.edges {
 		if len(vs) == 0 {
@@ -287,13 +342,20 @@ func (h *Hypergraph) Validate() error {
 		if !setops.IsSorted(vs) {
 			return fmt.Errorf("edge %d vertex set not strictly sorted: %v", e, vs)
 		}
+		dead := h.IsDeadEdge(EdgeID(e))
 		for _, v := range vs {
 			if int(v) >= len(h.labels) {
 				return fmt.Errorf("edge %d refers to unknown vertex %d", e, v)
 			}
-			if !setops.Contains(h.incidence[v], EdgeID(e)) {
+			if in := setops.Contains(h.incidence[v], EdgeID(e)); in == dead {
+				if dead {
+					return fmt.Errorf("incidence list of vertex %d lists tombstoned edge %d", v, e)
+				}
 				return fmt.Errorf("incidence list of vertex %d misses edge %d", v, e)
 			}
+		}
+		if dead {
+			continue // tombstones may duplicate live edges awaiting compaction
 		}
 		key := keyWithEdgeLabel(h.EdgeLabel(EdgeID(e)), Signature(vs))
 		if dup, ok := seen[key]; ok {
@@ -326,8 +388,8 @@ func (h *Hypergraph) Validate() error {
 			return fmt.Errorf("partition %d: %w", pi, err)
 		}
 	}
-	if total != len(h.edges) {
-		return fmt.Errorf("partitions cover %d edges, graph has %d", total, len(h.edges))
+	if total != h.NumLiveEdges() {
+		return fmt.Errorf("partitions cover %d edges, graph has %d live", total, h.NumLiveEdges())
 	}
 	return nil
 }

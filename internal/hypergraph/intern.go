@@ -104,6 +104,19 @@ func (t *u32Interner) intern(tag uint32, body []uint32) (id uint32, added bool) 
 	return id, true
 }
 
+// clone returns an independent copy sharing only the (immutable) interned
+// body slices; the DeltaBuffer snapshot path clones the base graph's table
+// copy-on-write before interning signatures first seen online, so already
+// published snapshots keep probing an untouched table.
+func (t *u32Interner) clone() *u32Interner {
+	return &u32Interner{
+		tags:   append([]uint32(nil), t.tags...),
+		bodies: append([][]uint32(nil), t.bodies...),
+		slots:  append([]uint32(nil), t.slots...),
+		mask:   t.mask,
+	}
+}
+
 // grow doubles the slot table and rehashes every entry.
 func (t *u32Interner) grow() {
 	t.rehash(uint32(len(t.slots)) * 2)

@@ -17,6 +17,17 @@ import (
 // zero-copy slice view posts[offsets[i]:offsets[i+1]] — ready-sorted, so
 // Algorithm 4 reduces to unions and intersections of slice views with no
 // per-table map or per-list allocation anywhere.
+//
+// A partition of an online snapshot (see DeltaBuffer) additionally carries
+// an append-side delta segment: the last nDelta entries of Edges are
+// hyperedges ingested after the base index was built, and their inverted
+// index lives in a second, independent CSR block (dverts/doffsets/dposts).
+// Because online hyperedge IDs are always assigned past the base ID range,
+// Edges stays sorted and every base posting list sorts strictly before
+// every delta posting list of the same vertex: readers see the full table
+// by consuming Postings(v) and DeltaPostings(v) back to back, with no
+// merge, no copy and no locks. Compact() folds the segments into one
+// fresh base CSR.
 type Partition struct {
 	// Sig is the signature shared by every edge in this table.
 	Sig Signature
@@ -26,15 +37,23 @@ type Partition struct {
 	// is vertex-labelled only).
 	EdgeLabel Label
 	// Edges lists the global hyperedge IDs in this table, sorted ascending.
+	// The last nDelta entries are the append-side delta segment.
 	Edges []EdgeID
 
 	// CSR inverted hyperedge index (Table I's I): verts is the strictly
 	// sorted set of vertices occurring in the table, offsets has
 	// len(verts)+1 entries, and posts[offsets[i]:offsets[i+1]] is the
-	// sorted posting list of verts[i].
+	// sorted posting list of verts[i]. It covers Edges[:len(Edges)-nDelta].
 	verts   []VertexID
 	offsets []uint32
 	posts   []EdgeID
+
+	// Delta-side CSR covering Edges[len(Edges)-nDelta:]; all arrays are nil
+	// on fully-compacted partitions (the zero value means "no delta").
+	nDelta   int
+	dverts   []VertexID
+	doffsets []uint32
+	dposts   []EdgeID
 }
 
 // Len returns the table cardinality |{e ∈ E(H) : S(e) = Sig}|. This is the
@@ -46,18 +65,35 @@ func (p *Partition) Len() int {
 	return len(p.Edges)
 }
 
-// Postings returns he(v, Sig): the sorted posting list of hyperedges in
-// this table incident to v, as a zero-copy view into the CSR arrays.
-// Callers must not mutate it. A vertex not occurring in the table yields
-// nil.
+// Postings returns he(v, Sig) over the table's base segment: the sorted
+// posting list of base hyperedges incident to v, as a zero-copy view into
+// the CSR arrays. Callers must not mutate it. A vertex not occurring in
+// the segment yields nil. On a delta-carrying partition the full posting
+// list of v is Postings(v) followed by DeltaPostings(v) — both sorted, and
+// every delta ID greater than every base ID.
 func (p *Partition) Postings(v VertexID) []EdgeID {
 	if p == nil {
 		return nil
 	}
-	// Rank v in the local vertex dictionary by binary search; the
-	// dictionary is small (vertices of one signature's edges) and
-	// contiguous, so this stays cache-resident on the hot path.
-	verts := p.verts
+	return csrPostings(p.verts, p.offsets, p.posts, v)
+}
+
+// DeltaPostings returns he(v, Sig) over the table's append-side delta
+// segment, as a zero-copy sorted view; nil when the partition carries no
+// delta or v occurs in none of its delta hyperedges. Callers must not
+// mutate it.
+func (p *Partition) DeltaPostings(v VertexID) []EdgeID {
+	if p == nil || len(p.dverts) == 0 {
+		return nil
+	}
+	return csrPostings(p.dverts, p.doffsets, p.dposts, v)
+}
+
+// csrPostings ranks v in a CSR vertex dictionary by binary search and
+// returns its posting-list view; the dictionary is small (vertices of one
+// signature's edges) and contiguous, so this stays cache-resident on the
+// hot path.
+func csrPostings(verts []VertexID, offsets []uint32, posts []EdgeID, v VertexID) []EdgeID {
 	lo, hi := 0, len(verts)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -70,11 +106,11 @@ func (p *Partition) Postings(v VertexID) []EdgeID {
 	if lo == len(verts) || verts[lo] != v {
 		return nil
 	}
-	return p.posts[p.offsets[lo]:p.offsets[lo+1]]
+	return posts[offsets[lo]:offsets[lo+1]]
 }
 
 // PostingVertices returns the sorted set of vertices occurring in the
-// table. Callers must not mutate it.
+// table's base segment. Callers must not mutate it.
 func (p *Partition) PostingVertices() []VertexID {
 	if p == nil {
 		return nil
@@ -88,7 +124,8 @@ func (p *Partition) PostingsAt(i int) []EdgeID {
 	return p.posts[p.offsets[i]:p.offsets[i+1]]
 }
 
-// NumPostingVertices returns how many distinct vertices appear in the table.
+// NumPostingVertices returns how many distinct vertices appear in the
+// table's base segment.
 func (p *Partition) NumPostingVertices() int {
 	if p == nil {
 		return 0
@@ -96,13 +133,59 @@ func (p *Partition) NumPostingVertices() int {
 	return len(p.verts)
 }
 
+// DeltaPostingVertices returns the sorted set of vertices occurring in the
+// table's delta segment (nil without one). Callers must not mutate it.
+func (p *Partition) DeltaPostingVertices() []VertexID {
+	if p == nil {
+		return nil
+	}
+	return p.dverts
+}
+
+// DeltaPostingsAt returns the posting list of DeltaPostingVertices()[i];
+// serialisation/test companion of DeltaPostingVertices.
+func (p *Partition) DeltaPostingsAt(i int) []EdgeID {
+	return p.dposts[p.doffsets[i]:p.doffsets[i+1]]
+}
+
+// NumDeltaEdges returns the size of the append-side delta segment (0 on a
+// fully-compacted table).
+func (p *Partition) NumDeltaEdges() int {
+	if p == nil {
+		return 0
+	}
+	return p.nDelta
+}
+
+// HasDelta reports whether the table carries an append-side delta segment.
+func (p *Partition) HasDelta() bool { return p != nil && p.nDelta > 0 }
+
+// BaseEdges returns the base-segment member edges (Edges minus the delta
+// tail). Callers must not mutate it.
+func (p *Partition) BaseEdges() []EdgeID {
+	if p == nil {
+		return nil
+	}
+	return p.Edges[:len(p.Edges)-p.nDelta]
+}
+
+// DeltaEdges returns the append-side delta members (empty when compacted).
+// Callers must not mutate it.
+func (p *Partition) DeltaEdges() []EdgeID {
+	if p == nil {
+		return nil
+	}
+	return p.Edges[len(p.Edges)-p.nDelta:]
+}
+
 // IndexBytes returns the memory footprint of the inverted hyperedge index:
 // each hyperedge contributes O(a(e)) posting entries (paper §IV-C size
 // analysis), 4 bytes each, plus the CSR vertex dictionary and offset
-// arrays — the exact flat-array footprint, with no per-vertex map
-// overhead left to approximate.
+// arrays — base and delta blocks both counted at their exact flat-array
+// footprint, with no per-vertex map overhead left to approximate.
 func (p *Partition) IndexBytes() int {
-	return 4 * (len(p.verts) + len(p.offsets) + len(p.posts))
+	return 4 * (len(p.verts) + len(p.offsets) + len(p.posts) +
+		len(p.dverts) + len(p.doffsets) + len(p.dposts))
 }
 
 // TableBytes returns the memory footprint of the hyperedge table itself:
@@ -116,9 +199,17 @@ func (p *Partition) TableBytes(h *Hypergraph) int {
 	return total
 }
 
-// setCSR installs a prebuilt CSR index; used by the builder and Assemble.
+// setCSR installs a prebuilt base CSR index; used by the builder and
+// Assemble.
 func (p *Partition) setCSR(verts []VertexID, offsets []uint32, posts []EdgeID) {
 	p.verts, p.offsets, p.posts = verts, offsets, posts
+}
+
+// setDeltaCSR installs a prebuilt append-side CSR block covering the last
+// nDelta entries of Edges; used by DeltaBuffer snapshot publication.
+func (p *Partition) setDeltaCSR(nDelta int, verts []VertexID, offsets []uint32, posts []EdgeID) {
+	p.nDelta = nDelta
+	p.dverts, p.doffsets, p.dposts = verts, offsets, posts
 }
 
 // validate checks partition-internal invariants against the parent graph.
@@ -126,23 +217,58 @@ func (p *Partition) validate(h *Hypergraph) error {
 	if !setops.IsSorted(p.Edges) {
 		return fmt.Errorf("edge list not sorted")
 	}
-	if len(p.offsets) != len(p.verts)+1 {
-		return fmt.Errorf("CSR offsets length %d for %d vertices", len(p.offsets), len(p.verts))
+	if p.nDelta < 0 || p.nDelta > len(p.Edges) {
+		return fmt.Errorf("delta segment of %d edges in a table of %d", p.nDelta, len(p.Edges))
 	}
-	if len(p.verts) > 0 {
-		if p.offsets[0] != 0 || int(p.offsets[len(p.verts)]) != len(p.posts) {
-			return fmt.Errorf("CSR offsets do not span posting array")
+	// Each block is checked against ITS segment's members, so a posting
+	// cross-wired into the wrong segment is a validation failure.
+	if err := validateCSRBlock(h, p.BaseEdges(), p.verts, p.offsets, p.posts); err != nil {
+		return fmt.Errorf("base CSR: %w", err)
+	}
+	if p.nDelta > 0 || len(p.dverts) > 0 {
+		if err := validateCSRBlock(h, p.DeltaEdges(), p.dverts, p.doffsets, p.dposts); err != nil {
+			return fmt.Errorf("delta CSR: %w", err)
 		}
 	}
-	if !setops.IsSorted(p.verts) {
+	// Every member edge must appear in the posting list of each member
+	// vertex, on the segment it belongs to.
+	nBase := len(p.Edges) - p.nDelta
+	for i, e := range p.Edges {
+		pl := func(v VertexID) []EdgeID { return p.Postings(v) }
+		if i >= nBase {
+			pl = func(v VertexID) []EdgeID { return p.DeltaPostings(v) }
+		}
+		for _, v := range h.edges[e] {
+			if !setops.Contains(pl(v), e) {
+				return fmt.Errorf("edge %d missing from posting list of vertex %d", e, v)
+			}
+		}
+	}
+	return nil
+}
+
+// validateCSRBlock checks one CSR block's structural invariants: sorted
+// dictionary, spanning offsets, sorted non-empty posting lists whose
+// entries are member edges containing the vertex.
+func validateCSRBlock(h *Hypergraph, members []EdgeID, verts []VertexID, offsets []uint32, posts []EdgeID) error {
+	if len(verts) == 0 && len(posts) == 0 && (len(offsets) == 0 || len(offsets) == 1) {
+		return nil // empty block (delta-free or member-free side)
+	}
+	if len(offsets) != len(verts)+1 {
+		return fmt.Errorf("CSR offsets length %d for %d vertices", len(offsets), len(verts))
+	}
+	if offsets[0] != 0 || int(offsets[len(verts)]) != len(posts) {
+		return fmt.Errorf("CSR offsets do not span posting array")
+	}
+	if !setops.IsSorted(verts) {
 		return fmt.Errorf("CSR vertex dictionary not sorted")
 	}
 	total := 0
-	for i, v := range p.verts {
-		if p.offsets[i] > p.offsets[i+1] {
+	for i, v := range verts {
+		if offsets[i] > offsets[i+1] {
 			return fmt.Errorf("CSR offsets decrease at vertex %d", v)
 		}
-		l := p.PostingsAt(i)
+		l := posts[offsets[i]:offsets[i+1]]
 		if len(l) == 0 {
 			return fmt.Errorf("vertex %d has an empty posting list", v)
 		}
@@ -154,22 +280,13 @@ func (p *Partition) validate(h *Hypergraph) error {
 			if !setops.Contains(h.edges[e], v) {
 				return fmt.Errorf("posting list of vertex %d lists edge %d not containing it", v, e)
 			}
-			if !setops.Contains(p.Edges, e) {
+			if !setops.Contains(members, e) {
 				return fmt.Errorf("posting list of vertex %d lists foreign edge %d", v, e)
 			}
 		}
 	}
-	if total != len(p.posts) {
-		return fmt.Errorf("posting lists cover %d of %d CSR entries", total, len(p.posts))
-	}
-	// Every member edge must appear in the posting list of each member
-	// vertex.
-	for _, e := range p.Edges {
-		for _, v := range h.edges[e] {
-			if !setops.Contains(p.Postings(v), e) {
-				return fmt.Errorf("edge %d missing from posting list of vertex %d", e, v)
-			}
-		}
+	if total != len(posts) {
+		return fmt.Errorf("posting lists cover %d of %d CSR entries", total, len(posts))
 	}
 	return nil
 }

@@ -15,13 +15,16 @@ type Stats struct {
 	Partitions    int     // number of hyperedge tables (not in Table II; diagnostic)
 	Signatures    int     // number of distinct interned signatures (SigIDs)
 	SigTableBytes int     // footprint of the signature interner's hash table
+	DeltaEdges    int     // online hyperedges in append-side segments (uncompacted)
+	DeadEdges     int     // tombstoned hyperedge slots awaiting compaction
 }
 
 // ComputeStats gathers Table II-style statistics for h.
 func ComputeStats(h *Hypergraph) Stats {
 	s := Stats{
 		NumVertices:   h.NumVertices(),
-		NumEdges:      h.NumEdges(),
+		NumEdges:      h.NumLiveEdges(),
+		DeadEdges:     h.NumDeadEdges(),
 		NumLabels:     h.NumLabels(),
 		MaxArity:      h.MaxArity(),
 		AvgArity:      h.AvgArity(),
@@ -33,6 +36,7 @@ func ComputeStats(h *Hypergraph) Stats {
 		p := h.Partition(i)
 		s.IndexBytes += p.IndexBytes()
 		s.GraphBytes += p.TableBytes(h)
+		s.DeltaEdges += p.NumDeltaEdges()
 	}
 	return s
 }

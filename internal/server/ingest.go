@@ -1,0 +1,249 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"hgmatch"
+	"hgmatch/internal/hgio"
+)
+
+// handleIngest implements POST /graphs/{name}/edges: NDJSON bulk ingest of
+// hyperedge inserts/deletes (and vertex adds) into the named live graph.
+// Records apply in order as they decode — ingest is not transactional; a
+// malformed line aborts with the counts applied so far — and one snapshot
+// is published at the end, so a bulk request pays one publication however
+// many lines it carries. Publication bumps the graph's version: the plan
+// cache drops the graph's stale plans and every subsequent /match compiles
+// (or cache-hits) against the new snapshot, while matches already running
+// finish on the snapshot they started with.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	live, ok := s.graphs.Live(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	start := time.Now()
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+
+	var sum hgio.IngestSummary
+	fail := func(status int, format string, args ...any) {
+		// Lines already applied stay applied; publish them and return the
+		// partial summary WITH the error, so the client learns both what
+		// failed and how much of the batch landed (ingest is documented
+		// non-transactional).
+		s.publishIngest(name, live, &sum, start)
+		sum.Error = fmt.Sprintf(format, args...)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(sum)
+	}
+	for {
+		var rec hgio.IngestRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			fail(status, "line %d: bad ingest record: %v", sum.Lines+1, err)
+			return
+		}
+		sum.Lines++
+		if err := s.applyIngest(live, &rec, &sum); err != nil {
+			fail(http.StatusBadRequest, "line %d: %v", sum.Lines, err)
+			return
+		}
+	}
+	s.publishIngest(name, live, &sum, start)
+	sum.Done = true
+	writeJSON(w, sum)
+}
+
+// applyIngest applies one record to the live graph, updating the summary.
+func (s *Server) applyIngest(live *hgmatch.DeltaBuffer, rec *hgio.IngestRecord, sum *hgio.IngestSummary) error {
+	op := rec.Op
+	if op == "" && len(rec.Vertices) > 0 {
+		op = "insert"
+	}
+	el := hgmatch.NoEdgeLabel
+	if rec.EdgeLabel != nil {
+		el = *rec.EdgeLabel
+	}
+	switch op {
+	case "insert":
+		_, added, err := live.InsertLabelled(el, rec.Vertices...)
+		if err != nil {
+			return err
+		}
+		if added {
+			sum.Inserted++
+		} else {
+			sum.Duplicates++
+		}
+	case "delete":
+		ok, err := live.DeleteLabelled(el, rec.Vertices...)
+		if err != nil {
+			return err
+		}
+		if ok {
+			sum.Deleted++
+		} else {
+			sum.Missing++
+		}
+	case "add_vertex":
+		label, err := s.resolveLabel(live, rec)
+		if err != nil {
+			return err
+		}
+		live.AddVertex(label)
+		sum.VerticesAdded++
+	default:
+		return errBadOp(rec.Op)
+	}
+	return nil
+}
+
+// resolveLabel maps an add_vertex record to a numeric label: either the
+// numeric "label" field, or "label_name" resolved against the graph's
+// dictionary (names never intern new dictionary entries online — the
+// dictionary is shared by live snapshots and must stay immutable).
+func (s *Server) resolveLabel(live *hgmatch.DeltaBuffer, rec *hgio.IngestRecord) (hgmatch.Label, error) {
+	if rec.Label != nil {
+		return *rec.Label, nil
+	}
+	if rec.LabelName == "" {
+		return 0, errors.New(`add_vertex needs "label" or "label_name"`)
+	}
+	// The dictionary is immutable and shared by every snapshot; resolving
+	// against the base avoids publishing a snapshot mid-request (bulk
+	// ingest publishes exactly once, at the end).
+	dict := live.Base().Dict()
+	if dict == nil {
+		return 0, errors.New(`graph has no label dictionary; use numeric "label"`)
+	}
+	l, ok := dict.Lookup(rec.LabelName)
+	if !ok {
+		return 0, errUnknownLabel(rec.LabelName)
+	}
+	return l, nil
+}
+
+type errBadOp string
+
+func (e errBadOp) Error() string { return `unknown op "` + string(e) + `"` }
+
+type errUnknownLabel string
+
+func (e errUnknownLabel) Error() string {
+	return `label name "` + string(e) + `" not in the graph's dictionary (online ingest cannot add label names)`
+}
+
+// publishIngest publishes the accumulated delta as one snapshot, fills the
+// summary's version/volume fields and drops the graph's now-stale cached
+// plans (their keys carry the old version, so dropping only frees memory —
+// correctness never depended on it). Publication goes through the SAME
+// buffer the records were applied to — re-resolving the name could hit a
+// concurrently re-registered replacement and leave the writes unpublished
+// while reporting the replacement's version.
+func (s *Server) publishIngest(name string, live *hgmatch.DeltaBuffer, sum *hgio.IngestSummary, start time.Time) {
+	h := live.Publish() // writer-side: blocks until this batch's writes are live
+	if version, ok := s.graphs.Version(name, h); ok {
+		sum.Version = version
+	} else {
+		sum.Version = h.DeltaVersion()
+	}
+	sum.PendingEdges = live.PendingEdges()
+	sum.DeadEdges = live.TombstonedEdges()
+	sum.ElapsedUs = time.Since(start).Microseconds()
+	if sum.Inserted+sum.Deleted+sum.VerticesAdded > 0 {
+		s.plans.DropPrefix(GraphPrefix(name))
+	}
+
+	// Threshold-based background compaction: the response returns as soon
+	// as the delta is published; folding it into a fresh base proceeds
+	// off-request (readers are never blocked, writers briefly are). This
+	// runs on failed (partially applied) batches too — their lines grow
+	// the delta all the same. At most one fold per graph is in flight:
+	// a burst of over-threshold ingests must not queue rebuilds behind
+	// the buffer mutex, stalling every writer.
+	if s.cfg.CompactThreshold > 0 && sum.PendingEdges+sum.DeadEdges >= s.cfg.CompactThreshold {
+		sum.Compacting = true // a compaction is running or being scheduled
+		if _, busy := s.compacting.LoadOrStore(name, struct{}{}); busy {
+			return
+		}
+		published := sum.Version
+		s.compactWG.Add(1)
+		go func() {
+			defer s.compactWG.Done()
+			defer s.compacting.Delete(name)
+			nh, _, _, err := live.CompactCounted()
+			if err != nil {
+				// Unreachable in practice (every ingested record was
+				// validated), but a failing compaction must not be silent:
+				// the delta would grow unbounded while every ingest
+				// reports compacting:true.
+				log.Printf("server: background compaction of %q failed: %v", name, err)
+				return
+			}
+			// Purge only when the fold actually moved the version (it
+			// always does here unless a concurrent manual /compact beat
+			// us to the fold and already purged).
+			if v, ok := s.graphs.Version(name, nh); ok && v != published {
+				s.plans.DropPrefix(GraphPrefix(name))
+			}
+		}()
+	}
+}
+
+// handleCompact implements POST /graphs/{name}/compact: synchronously fold
+// the graph's accumulated delta into a fresh fully-indexed base and
+// publish it. Readers keep matching on the previous snapshot throughout;
+// the response reports the new base.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	live, ok := s.graphs.Live(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	start := time.Now()
+	_, before, _ := s.graphs.GetVersioned(name)
+	// Counts come from the fold itself: reading them beforehand would
+	// race with a concurrent ingest and under-report.
+	nh, folded, dropped, err := live.CompactCounted()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "compacting %q: %v", name, err)
+		return
+	}
+	// Version derived from nh itself: a concurrent ingest may already have
+	// published a newer snapshot, and pairing ITS version with nh's edge
+	// count would hand the client an inconsistent (edges, version) pair.
+	version, _ := s.graphs.Version(name, nh)
+	if version != before {
+		// Skip the purge on a no-op idle compaction: the cached plans
+		// still belong to the current version, and evicting them would
+		// make a periodic compaction tick cost a cold compile per hot
+		// query. (Stale-version plans are correctness-safe either way —
+		// the version is in the key — purging only frees memory.)
+		s.plans.DropPrefix(GraphPrefix(name))
+	}
+	writeJSON(w, hgio.CompactSummary{
+		Done:        true,
+		Edges:       nh.NumEdges(),
+		FoldedEdges: folded,
+		Dropped:     dropped,
+		Version:     version,
+		ElapsedUs:   time.Since(start).Microseconds(),
+	})
+}

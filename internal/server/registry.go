@@ -10,44 +10,64 @@ import (
 )
 
 // Registry holds the named data hypergraphs a server instance matches
-// against. Graphs are immutable once built, so reads take no lock on the
-// graph itself; the registry map is guarded for the (rare) case of graphs
-// being added while the server is live.
+// against. Every graph is wrapped in a DeltaBuffer, so names address live,
+// online-updatable graphs; matching always runs on an immutable snapshot
+// obtained here together with its version (the consistent pair plan-cache
+// keys are built from). The registry map itself is guarded for the (rare)
+// case of graphs being added while the server is live; snapshot reads
+// inside an entry are lock-free.
 type Registry struct {
 	mu        sync.RWMutex
-	graphs    map[string]graphEntry
+	graphs    map[string]*graphEntry
 	onReplace func(name string)
 }
 
-// graphEntry pairs a graph with a replacement counter and its precomputed
-// statistics. The version flows into plan-cache keys so that replacing a
-// graph under a live name can never serve plans compiled against its
-// predecessor; the stats are computed once because graphs are immutable
-// and ComputeStats walks every edge.
+// graphEntry pairs a live graph with its replacement generation and a
+// per-version cache of its Table II statistics (ComputeStats walks every
+// edge, so /graphs polling must not recompute it per request while the
+// graph is idle).
 type graphEntry struct {
-	h       *hgmatch.Hypergraph
-	version uint64
-	info    hgio.GraphInfo
+	live *hgmatch.DeltaBuffer
+	gen  uint64 // replacement generation (1 for the first registration)
+
+	infoMu      sync.Mutex
+	info        hgio.GraphInfo
+	infoVersion uint64 // combined version info was computed at; 0 = never
+}
+
+// version combines the replacement generation with the snapshot's delta
+// publication counter: replacing a graph under a live name or publishing
+// new online writes both move every plan-cache key forward.
+func (e *graphEntry) version(h *hgmatch.Hypergraph) uint64 {
+	return e.gen<<32 | h.DeltaVersion()
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{graphs: make(map[string]graphEntry)}
+	return &Registry{graphs: make(map[string]*graphEntry)}
 }
 
 // Add registers a graph under name, replacing any previous graph of that
-// name (the replacement gets a new version, invalidating cached plans and
-// firing the replacement hook).
-func (r *Registry) Add(name string, h *hgmatch.Hypergraph) {
-	info := hgio.GraphInfoFor(name, h)
+// name (the replacement gets a new generation, invalidating cached plans
+// and firing the replacement hook). The graph becomes live: it accepts
+// online inserts/deletes through Live(name).
+func (r *Registry) Add(name string, h *hgmatch.Hypergraph) error {
+	live, err := hgmatch.NewDeltaBuffer(h)
+	if err != nil {
+		return fmt.Errorf("server: registering graph %q: %w", name, err)
+	}
 	r.mu.Lock()
-	prev := r.graphs[name].version
-	r.graphs[name] = graphEntry{h: h, version: prev + 1, info: info}
+	var prevGen uint64
+	if prev, ok := r.graphs[name]; ok {
+		prevGen = prev.gen
+	}
+	r.graphs[name] = &graphEntry{live: live, gen: prevGen + 1}
 	hook := r.onReplace
 	r.mu.Unlock()
-	if prev > 0 && hook != nil {
+	if prevGen > 0 && hook != nil {
 		hook(name)
 	}
+	return nil
 }
 
 // setOnReplace installs a hook fired (outside the registry lock) whenever
@@ -66,31 +86,74 @@ func (r *Registry) LoadFile(name, path string) error {
 	if err != nil {
 		return fmt.Errorf("server: loading graph %q from %s: %w", name, path, err)
 	}
-	r.Add(name, h)
-	return nil
+	return r.Add(name, h)
 }
 
-// Get returns the graph registered under name.
+// entry returns the live entry registered under name.
+func (r *Registry) entry(name string) (*graphEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	return e, ok
+}
+
+// Get returns the current snapshot of the graph registered under name.
 func (r *Registry) Get(name string) (*hgmatch.Hypergraph, bool) {
 	h, _, ok := r.GetVersioned(name)
 	return h, ok
 }
 
-// GetVersioned returns the graph registered under name together with its
-// replacement version (1 for the first registration).
+// GetVersioned returns the current snapshot of the named graph together
+// with its version — a single consistent pair: the version is derived from
+// the snapshot itself, so a concurrent ingest can never pair an old
+// snapshot with a new version (which would poison a plan cache).
 func (r *Registry) GetVersioned(name string) (*hgmatch.Hypergraph, uint64, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.graphs[name]
-	return e.h, e.version, ok
+	e, ok := r.entry(name)
+	if !ok {
+		return nil, 0, false
+	}
+	h := e.live.Snapshot()
+	return h, e.version(h), true
 }
 
-// Info returns the precomputed Table II statistics for the named graph.
+// Live returns the named graph's online-update buffer, the write surface
+// behind POST /graphs/{name}/edges and /compact.
+func (r *Registry) Live(name string) (*hgmatch.DeltaBuffer, bool) {
+	e, ok := r.entry(name)
+	if !ok {
+		return nil, false
+	}
+	return e.live, true
+}
+
+// Version returns the cache-key version of the named graph FOR the given
+// snapshot. Handlers that already hold a specific snapshot use this
+// instead of GetVersioned so the (snapshot, version) pair they report
+// stays consistent under concurrent ingest.
+func (r *Registry) Version(name string, h *hgmatch.Hypergraph) (uint64, bool) {
+	e, ok := r.entry(name)
+	if !ok {
+		return 0, false
+	}
+	return e.version(h), true
+}
+
+// Info returns the Table II statistics of the named graph's current
+// snapshot, cached per (generation, delta version).
 func (r *Registry) Info(name string) (hgio.GraphInfo, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.graphs[name]
-	return e.info, ok
+	e, ok := r.entry(name)
+	if !ok {
+		return hgio.GraphInfo{}, false
+	}
+	h := e.live.Snapshot()
+	v := e.version(h)
+	e.infoMu.Lock()
+	defer e.infoMu.Unlock()
+	if e.infoVersion != v {
+		e.info = hgio.GraphInfoFor(name, h)
+		e.infoVersion = v
+	}
+	return e.info, true
 }
 
 // Names returns the registered graph names, sorted.

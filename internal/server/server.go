@@ -1,16 +1,26 @@
 // Package server implements the hgserve HTTP match service: named data
-// hypergraphs loaded once at startup (Registry), JSON/NDJSON endpoints over
-// the public hgmatch API, and an LRU cache of compiled plans (PlanCache) so
-// repeated queries skip Compile and go straight to the parallel engine.
+// hypergraphs loaded at startup (Registry) and updatable online, JSON/
+// NDJSON endpoints over the public hgmatch API, and an LRU cache of
+// compiled plans (PlanCache) so repeated queries skip Compile and go
+// straight to the parallel engine.
 //
 // Endpoints:
 //
-//	POST /match                NDJSON stream: one EmbeddingRecord line per
-//	                           embedding, then a closing MatchSummary line
-//	POST /count                JSON MatchSummary (counts only, no stream)
-//	GET  /graphs               JSON list of loaded graphs with Table II stats
-//	GET  /graphs/{name}/stats  JSON stats for one graph
-//	GET  /healthz              liveness + plan-cache hit/miss counters
+//	POST /match                  NDJSON stream: one EmbeddingRecord line per
+//	                             embedding, then a closing MatchSummary line
+//	POST /count                  JSON MatchSummary (counts only, no stream)
+//	GET  /graphs                 JSON list of loaded graphs with Table II stats
+//	GET  /graphs/{name}/stats    JSON stats for one graph
+//	POST /graphs/{name}/edges    NDJSON bulk ingest (IngestRecord lines:
+//	                             insert/delete/add_vertex) -> IngestSummary
+//	POST /graphs/{name}/compact  fold the graph's delta into a fresh base
+//	GET  /healthz                liveness + plan-cache hit/miss counters
+//
+// Every registered graph is live: ingest goes through a DeltaBuffer whose
+// snapshots swap in atomically. A /match that started before an ingest
+// finishes on its original snapshot; the first request after publication
+// sees the new version, whose plans compile fresh (the version is part of
+// the plan-cache key, so stale plans can never serve).
 //
 // Request/response types live in internal/hgio (wire.go); queries travel
 // as strings in the same text format the CLIs read from .hg files.
@@ -70,6 +80,12 @@ type Config struct {
 	MaxWorkers int
 	// MaxBodyBytes bounds request bodies (default 16 MiB).
 	MaxBodyBytes int64
+	// CompactThreshold triggers background compaction of a live graph once
+	// its uncompacted delta (pending inserts + tombstones) reaches this
+	// many edges after an ingest request. 0 disables auto-compaction;
+	// POST /graphs/{name}/compact always works. See docs/OPERATIONS.md for
+	// sizing guidance.
+	CompactThreshold int
 }
 
 func (c *Config) fillDefaults() {
@@ -96,6 +112,12 @@ type Server struct {
 	cfg    Config
 	graphs *Registry
 	plans  *PlanCache
+
+	compactWG sync.WaitGroup // in-flight background compactions
+	// compacting marks graphs with a background compaction in flight, so a
+	// burst of over-threshold ingests schedules one fold, not one per
+	// request.
+	compacting sync.Map // graph name -> struct{}
 }
 
 // New returns a Server over the given registry.
@@ -122,9 +144,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /count", s.handleCount)
 	mux.HandleFunc("GET /graphs", s.handleGraphs)
 	mux.HandleFunc("GET /graphs/{name}/stats", s.handleGraphStats)
+	mux.HandleFunc("POST /graphs/{name}/edges", s.handleIngest)
+	mux.HandleFunc("POST /graphs/{name}/compact", s.handleCompact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
+
+// WaitCompactions blocks until background compactions triggered by ingest
+// requests have finished; shutdown paths and tests call it so a compaction
+// never runs past process teardown.
+func (s *Server) WaitCompactions() { s.compactWG.Wait() }
 
 // writeError sends a JSON error body with the given status.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Docs lint: `go vet` over the tree (doc examples and comments compile),
+# then a relative-link check over README.md and docs/*.md — every
+# `[text](target)` that is not an absolute URL or a pure anchor must
+# resolve to a file or directory relative to the markdown file that
+# references it. Exits non-zero when any broken link is reported.
+set -e
+cd "$(dirname "$0")/.."
+
+go vet ./...
+
+# The link-checking loop runs in a subshell (it reads from a pipe), so
+# broken links are reported on stdout and collected here — no on-disk
+# sentinel state that an interrupted run could leak.
+broken=$(
+	for f in README.md docs/*.md; do
+		[ -f "$f" ] || continue
+		dir=$(dirname "$f")
+		grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//' | while IFS= read -r target; do
+			case "$target" in
+			http://* | https://* | mailto:* | \#*) continue ;;
+			esac
+			path=${target%%#*}
+			[ -n "$path" ] || continue
+			if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+				echo "$f: broken link -> $target"
+			fi
+		done
+	done
+)
+
+if [ -n "$broken" ]; then
+	printf 'docslint:\n%s\n' "$broken" >&2
+	exit 1
+fi
