@@ -10,6 +10,7 @@
 package hgmatch_test
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -576,6 +577,101 @@ func BenchmarkAblationIntersect(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAblationSetops isolates the posting-container choice behind the
+// hybrid set kernels (PR 5): the same k-way union + intersection workload
+// over posting lists of one table, in three configurations —
+//
+//	array:  the pre-hybrid kernels (pairwise union chain, pairwise
+//	        smallest-first intersection), every input an array
+//	hybrid: production shape — inputs above the setops.Dense threshold are
+//	        bitmap containers, the rest arrays, through UnionK/IntersectK
+//	bitmap: every input a bitmap container (the all-dense extreme)
+//
+// Sub-benchmarks sweep k (inputs per union) and per-list density over a
+// 4096-member table, locating the crossover the adaptive threshold
+// exploits: arrays win when lists are tiny, word-parallel wins as density
+// grows — 64 elements per word op versus one per merge branch.
+func BenchmarkAblationSetops(b *testing.B) {
+	const nMembers = 4096
+	members := make([]uint32, nMembers)
+	for i := range members {
+		members[i] = uint32(i*4 + i%3) // spread global IDs, strictly increasing
+	}
+	rank := setops.BuildRankTable(members)
+	rng := rand.New(rand.NewSource(42))
+	gen := func(density float64) []uint32 {
+		var s []uint32
+		for _, m := range members {
+			if rng.Float64() < density {
+				s = append(s, m)
+			}
+		}
+		return s
+	}
+	for _, k := range []int{4, 16} {
+		for _, density := range []float64{0.005, 0.05, 0.25} {
+			lists := make([][]uint32, k)
+			arrViews := make([]setops.View, k)
+			hybViews := make([]setops.View, k)
+			bmViews := make([]setops.View, k)
+			for i := range lists {
+				lists[i] = gen(density)
+				arrViews[i] = setops.View{Arr: lists[i]}
+				bm := setops.FromSorted(nil, nMembers)
+				bm.AddRanked(lists[i], rank)
+				bm.Count()
+				bmViews[i] = setops.View{Bits: bm}
+				if setops.Dense(len(lists[i]), nMembers) {
+					hybViews[i] = bmViews[i]
+				} else {
+					hybViews[i] = arrViews[i]
+				}
+			}
+			// Intersection inputs: k/2 unions of pairs, so the intersect
+			// stage sees realistic post-union sets.
+			name := fmt.Sprintf("k=%d/density=%g", k, density)
+			b.Run(name+"/array", func(b *testing.B) {
+				var acc, tmp, inter []uint32
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					acc = append(acc[:0], lists[0]...)
+					for _, l := range lists[1:] {
+						tmp = setops.Union(tmp[:0], acc, l)
+						acc, tmp = tmp, acc
+					}
+					inter = setops.Intersect(inter[:0], lists[0], lists[1])
+					for _, l := range lists[2:max(2, k/2)] {
+						tmp = setops.Intersect(tmp[:0], inter, l)
+						inter, tmp = tmp, inter
+					}
+					sinkLen = len(acc) + len(inter)
+				}
+			})
+			run := func(name string, views []setops.View) {
+				b.Run(name, func(b *testing.B) {
+					var ks setops.KScratch
+					var bm setops.Bitmap
+					bm.Reuse(make([]uint64, setops.WordsFor(nMembers)), nMembers)
+					var dst, inter []uint32
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						u := setops.UnionK(dst[:0], &bm, nMembers, rank, views, &ks)
+						if u.Arr != nil {
+							dst = u.Arr
+						}
+						inter = setops.IntersectK(inter[:0], views[:max(2, k/2)], rank, members, &ks)
+						sinkLen = u.Len() + len(inter)
+					}
+				})
+			}
+			run(name+"/hybrid", hybViews)
+			run(name+"/bitmap", bmViews)
+		}
+	}
+}
+
+var sinkLen int
 
 // BenchmarkAblationValidation compares HGMatch's O(a_q·|E(q)|) vertex-
 // profile validation against verifying each result by backtracking vertex

@@ -369,4 +369,4 @@ func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
 var ErrNoDicts = hgio.ErrNoDicts
 
 // Version identifies this reproduction release.
-const Version = "1.4.0"
+const Version = "1.5.0"

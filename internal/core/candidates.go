@@ -39,12 +39,12 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 	}
 	data := p.Data
 
-	// d_Hm(v) for every vertex of the partial embedding; sc.vlen() is
-	// |V(Hm)|.
+	// Incidence mask (and through its popcount, d_Hm(v)) for every vertex
+	// of the partial embedding; sc.vlen() is |V(Hm)|.
 	sc.resetVcnt(data.NumVertices(), len(p.Order))
 	for k := 0; k < depth; k++ {
 		for _, v := range data.Edge(m[k]) {
-			sc.vinc(v)
+			sc.vinc(v, k)
 		}
 	}
 
@@ -54,6 +54,21 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 	for _, j := range st.nonAdjPos {
 		sc.acc = setops.Union(sc.acc[:0], sc.nonAdj, data.Edge(m[j]))
 		sc.nonAdj, sc.acc = sc.acc, sc.nonAdj
+	}
+
+	// Hybrid container plumbing: on a sidecar-carrying, delta-free table
+	// the posting views may be word-parallel bitmaps in the table's rank
+	// space, and the per-set union outputs land in reusable bitmap windows
+	// when dense. A delta-carrying table runs array-only until compaction
+	// (delta postings live above the base rank span; they are small and
+	// short-lived by design).
+	dense := st.useBitmaps
+	var rank setops.RankTable
+	var unrank []uint32
+	if dense {
+		rank = st.part.BitmapRanks()
+		unrank = st.part.BaseEdges()
+		sc.ensureBitmapBufs(st.nSets, st.nBits)
 	}
 
 	// Build C': one candidate hyperedge set per (adjacent edge, shared
@@ -66,7 +81,7 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 		for _, u := range g.us {
 			// V_incdt: vertices of f(e) that may be matched to u
 			// (Observations V.2-V.4).
-			sc.lists = sc.lists[:0]
+			sc.views = sc.views[:0]
 			for _, v := range fe {
 				if data.Label(v) != u.label {
 					continue
@@ -77,40 +92,49 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 				if len(sc.nonAdj) > 0 && setops.Contains(sc.nonAdj, v) {
 					continue
 				}
-				// he(v, S(eq)) is the base CSR view plus, on an online
+				// he(v, S(eq)) is the base view plus, on an online
 				// snapshot, the append-side delta view: both sorted, with
 				// every delta ID above every base ID, so the downstream
 				// unions treat them as two more ready-sorted inputs — no
 				// merge, no allocation, and a single predictable branch on
 				// compacted graphs.
-				if pl := st.part.Postings(v); len(pl) > 0 {
-					sc.lists = append(sc.lists, pl)
+				if dense {
+					if vw := st.part.PostingsView(v); !vw.IsEmpty() {
+						sc.views = append(sc.views, vw)
+					}
+				} else if pl := st.part.Postings(v); len(pl) > 0 {
+					sc.views = append(sc.views, setops.View{Arr: pl})
 				}
 				if pl := st.part.DeltaPostings(v); len(pl) > 0 {
-					sc.lists = append(sc.lists, pl)
+					sc.views = append(sc.views, setops.View{Arr: pl})
 				}
 			}
-			if len(sc.lists) == 0 {
+			if len(sc.views) == 0 {
 				return // some required vertex has no incident candidates
 			}
-			// Union the posting lists into a per-set buffer
-			// (⋃_{v∈V_incdt} he(v, S(eq))).
+			// Union the posting views into the per-set slot
+			// (⋃_{v∈V_incdt} he(v, S(eq))): k-way, one pass, adaptive
+			// array/bitmap output. Single-view sets stay zero-copy.
 			for len(sc.setBufs) <= nset {
 				sc.setBufs = append(sc.setBufs, nil)
 			}
-			buf := sc.setBufs[nset][:0]
-			if len(sc.lists) == 1 {
-				buf = append(buf, sc.lists[0]...)
+			var set setops.View
+			if len(sc.views) == 1 {
+				// Zero-copy: the set IS the posting view. setBufs[nset]
+				// must keep its own backing — storing the view here would
+				// make a later call union INTO the index's memory.
+				set = sc.views[0]
 			} else {
-				sc.acc = append(sc.acc[:0], sc.lists[0]...)
-				for _, l := range sc.lists[1:] {
-					sc.acc2 = setops.Union(sc.acc2[:0], sc.acc, l)
-					sc.acc, sc.acc2 = sc.acc2, sc.acc
+				var bm *setops.Bitmap
+				if dense {
+					bm = &sc.bmSets[nset]
 				}
-				buf = append(buf, sc.acc...)
+				set = setops.UnionK(sc.setBufs[nset][:0], bm, st.nBits, rank, sc.views, &sc.ks)
+				if set.Arr != nil {
+					sc.setBufs[nset] = set.Arr // reclaim the grown buffer
+				}
 			}
-			sc.setBufs[nset] = buf
-			sc.sets = append(sc.sets, buf)
+			sc.sets = append(sc.sets, set)
 			nset++
 		}
 	}
@@ -120,32 +144,11 @@ func (p *Plan) Expand(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Counter
 		return
 	}
 
-	// Intersect all candidate sets, smallest first (Algorithm 4 line 7).
-	// Insertion sort over the handful of set indices: sort.Slice here would
-	// allocate its closure on every Expand call, the one thing the
-	// steady-state path must not do.
-	sc.order = sc.order[:0]
-	for i := range sc.sets {
-		sc.order = append(sc.order, i)
-	}
-	for i := 1; i < len(sc.order); i++ {
-		x := sc.order[i]
-		j := i - 1
-		for j >= 0 && len(sc.sets[x]) < len(sc.sets[sc.order[j]]) {
-			sc.order[j+1] = sc.order[j]
-			j--
-		}
-		sc.order[j+1] = x
-	}
-	cand := sc.sets[sc.order[0]]
-	for _, oi := range sc.order[1:] {
-		if len(cand) == 0 {
-			return
-		}
-		sc.inter2 = setops.Intersect(sc.inter2[:0], cand, sc.sets[oi])
-		cand = sc.inter2
-		sc.inter, sc.inter2 = sc.inter2, sc.inter
-	}
+	// Intersect all candidate sets, smallest first (Algorithm 4 line 7):
+	// word-parallel AND folds across bitmap sets, gallop/merge across
+	// array sets, decoded back to global hyperedge IDs.
+	cand := setops.IntersectK(sc.inter[:0], sc.sets, rank, unrank, &sc.ks)
+	sc.inter = cand[:0] // retain whichever backing the result landed in
 
 	// Emit validated candidates.
 	hmVerts := sc.vlen()
@@ -191,7 +194,7 @@ func (p *Plan) expandRaw(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Coun
 	sc.resetVcnt(data.NumVertices(), len(p.Order))
 	for k := 0; k < depth; k++ {
 		for _, v := range data.Edge(m[k]) {
-			sc.vinc(v)
+			sc.vinc(v, k)
 		}
 	}
 	sc.nonAdj = sc.nonAdj[:0]
@@ -199,13 +202,21 @@ func (p *Plan) expandRaw(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Coun
 		sc.acc = setops.Union(sc.acc[:0], sc.nonAdj, data.Edge(m[j]))
 		sc.nonAdj, sc.acc = sc.acc, sc.nonAdj
 	}
+	dense := st.useBitmaps
+	var rank setops.RankTable
+	var unrank []uint32
+	if dense {
+		rank = st.part.BitmapRanks()
+		unrank = st.part.BaseEdges()
+		sc.ensureBitmapBufs(st.nSets, st.nBits)
+	}
 	sc.sets = sc.sets[:0]
 	nset := 0
 	for gi := range st.adjGroups {
 		g := &st.adjGroups[gi]
 		fe := data.Edge(m[g.pos])
 		for _, u := range g.us {
-			sc.lists = sc.lists[:0]
+			sc.views = sc.views[:0]
 			for _, v := range fe {
 				if data.Label(v) != u.label || sc.vdegOf(v) != u.prefDeg {
 					continue
@@ -213,47 +224,45 @@ func (p *Plan) expandRaw(depth int, m []hypergraph.EdgeID, sc *Scratch, ct *Coun
 				if len(sc.nonAdj) > 0 && setops.Contains(sc.nonAdj, v) {
 					continue
 				}
-				if pl := st.part.Postings(v); len(pl) > 0 {
-					sc.lists = append(sc.lists, pl)
+				if dense {
+					if vw := st.part.PostingsView(v); !vw.IsEmpty() {
+						sc.views = append(sc.views, vw)
+					}
+				} else if pl := st.part.Postings(v); len(pl) > 0 {
+					sc.views = append(sc.views, setops.View{Arr: pl})
 				}
 				if pl := st.part.DeltaPostings(v); len(pl) > 0 {
-					sc.lists = append(sc.lists, pl)
+					sc.views = append(sc.views, setops.View{Arr: pl})
 				}
 			}
-			if len(sc.lists) == 0 {
+			if len(sc.views) == 0 {
 				return
 			}
 			for len(sc.setBufs) <= nset {
 				sc.setBufs = append(sc.setBufs, nil)
 			}
-			buf := sc.setBufs[nset][:0]
-			sc.acc = sc.acc[:0]
-			for i, l := range sc.lists {
-				if i == 0 {
-					sc.acc = append(sc.acc, l...)
-					continue
+			var set setops.View
+			if len(sc.views) == 1 {
+				set = sc.views[0] // zero-copy; setBufs keeps its own backing
+			} else {
+				var bm *setops.Bitmap
+				if dense {
+					bm = &sc.bmSets[nset]
 				}
-				sc.acc2 = setops.Union(sc.acc2[:0], sc.acc, l)
-				sc.acc, sc.acc2 = sc.acc2, sc.acc
+				set = setops.UnionK(sc.setBufs[nset][:0], bm, st.nBits, rank, sc.views, &sc.ks)
+				if set.Arr != nil {
+					sc.setBufs[nset] = set.Arr
+				}
 			}
-			buf = append(buf, sc.acc...)
-			sc.setBufs[nset] = buf
-			sc.sets = append(sc.sets, buf)
+			sc.sets = append(sc.sets, set)
 			nset++
 		}
 	}
 	if len(sc.sets) == 0 {
 		return
 	}
-	cand := sc.sets[0]
-	for _, s := range sc.sets[1:] {
-		if len(cand) == 0 {
-			return
-		}
-		sc.inter2 = setops.Intersect(sc.inter2[:0], cand, s)
-		cand = sc.inter2
-		sc.inter, sc.inter2 = sc.inter2, sc.inter
-	}
+	cand := setops.IntersectK(sc.inter[:0], sc.sets, rank, unrank, &sc.ks)
+	sc.inter = cand[:0]
 candidates:
 	for _, c := range cand {
 		for k := 0; k < depth; k++ {

@@ -59,6 +59,17 @@ type step struct {
 	wantProf  []profile             // sorted query-side profile multiset for ϕ[i]'s vertices
 	qVerts    int                   // |V(q')| of the prefix through position i
 	arity     int                   // a(ϕ[i])
+
+	// Hybrid-container shape of the step's table, precompiled so Expand
+	// branches once: useBitmaps enables the word-parallel kernels (the
+	// table carries a bitmap sidecar and no delta segment — delta
+	// postings live above the base rank span and run array-only until
+	// compaction), nBits is the table's rank span, and nSets bounds the
+	// candidate sets one expansion can build (sizes the per-set bitmap
+	// windows).
+	useBitmaps bool
+	nBits      int
+	nSets      int
 }
 
 // Plan is a compiled, immutable execution plan for one (query, data) pair:
@@ -206,6 +217,13 @@ func compilePlan(q, h *hypergraph.Hypergraph, order []hypergraph.EdgeID, qs *que
 				}
 			}
 			st.adjGroups = append(st.adjGroups, g)
+		}
+		for gi := range st.adjGroups {
+			st.nSets += len(st.adjGroups[gi].us)
+		}
+		if st.part.HasBitmaps() && !st.part.HasDelta() {
+			st.useBitmaps = true
+			st.nBits = st.part.NumBaseEdges()
 		}
 
 		// Update prefix state to INCLUDE position i, then compile the

@@ -20,33 +20,37 @@ import (
 //     two-word records — no backtracking.
 //
 // It updates ct.Filtered for candidates passing check 1.
+//
+// Both checks read the Scratch incidence-mask table that Expand seeded
+// while computing d_Hm: a vertex's data-side profile mask IS its table
+// entry (plus the bit for position depth), so the former per-candidate
+// membership scan over every matched hyperedge — O(a(e)·depth·log a)
+// binary searches, the hottest loop of the whole kernel — collapses to
+// one word load per vertex.
 func (p *Plan) validateStep(st *step, depth int, m []hypergraph.EdgeID, c hypergraph.EdgeID, hmVerts int, sc *Scratch, ct *Counters) bool {
 	data := p.Data
 	cvs := data.Edge(c)
 
-	// Observation V.5: vertex-count equality.
+	// One pass: count c's previously unseen vertices (Observation V.5)
+	// while assembling the profile multiset (Theorem V.2).
+	sc.profs = sc.profs[:0]
 	newVerts := 0
+	dbit := uint64(1) << uint(depth)
 	for _, v := range cvs {
-		if !sc.vseen(v) {
+		mask := sc.vmaskOf(v)
+		if mask == 0 {
 			newVerts++
 		}
+		sc.profs = append(sc.profs, profile{label: data.Label(v), mask: mask | dbit})
 	}
+
+	// Observation V.5: vertex-count equality.
 	if hmVerts+newVerts != st.qVerts {
 		return false
 	}
 	ct.Filtered++
 
 	// Theorem V.2: profile multiset equality for the new hyperedge.
-	sc.profs = sc.profs[:0]
-	for _, v := range cvs {
-		mask := uint64(1) << uint(depth)
-		for k := 0; k < depth; k++ {
-			if setops.Contains(data.Edge(m[k]), v) {
-				mask |= 1 << uint(k)
-			}
-		}
-		sc.profs = append(sc.profs, profile{label: data.Label(v), mask: mask})
-	}
 	insertionSortProfiles(sc.profs)
 	want := st.wantProf
 	if len(sc.profs) != len(want) {

@@ -98,27 +98,35 @@ type GraphInfo struct {
 	IndexBytes    int     `json:"index_bytes"`
 	GraphBytes    int     `json:"graph_bytes"`
 	SigTableBytes int     `json:"sig_table_bytes"`
-	DeltaEdges    int     `json:"delta_edges,omitempty"`
-	DeadEdges     int     `json:"dead_edges,omitempty"`
+	// BitmapVertices/BitmapBytes report the bitmap posting-container
+	// sidecar: how many dense vertices carry a word-parallel container and
+	// what the sidecar costs on top of index_bytes — the number memory
+	// sizing adds per graph (see docs/OPERATIONS.md).
+	BitmapVertices int `json:"bitmap_vertices"`
+	BitmapBytes    int `json:"bitmap_bytes"`
+	DeltaEdges     int `json:"delta_edges,omitempty"`
+	DeadEdges      int `json:"dead_edges,omitempty"`
 }
 
 // GraphInfoFor assembles a GraphInfo from a graph and its registry name.
 func GraphInfoFor(name string, h *hypergraph.Hypergraph) GraphInfo {
 	s := hypergraph.ComputeStats(h)
 	return GraphInfo{
-		Name:          name,
-		NumVertices:   s.NumVertices,
-		NumEdges:      s.NumEdges,
-		NumLabels:     s.NumLabels,
-		MaxArity:      s.MaxArity,
-		AvgArity:      s.AvgArity,
-		Partitions:    s.Partitions,
-		Signatures:    s.Signatures,
-		IndexBytes:    s.IndexBytes,
-		GraphBytes:    s.GraphBytes,
-		SigTableBytes: s.SigTableBytes,
-		DeltaEdges:    s.DeltaEdges,
-		DeadEdges:     s.DeadEdges,
+		Name:           name,
+		NumVertices:    s.NumVertices,
+		NumEdges:       s.NumEdges,
+		NumLabels:      s.NumLabels,
+		MaxArity:       s.MaxArity,
+		AvgArity:       s.AvgArity,
+		Partitions:     s.Partitions,
+		Signatures:     s.Signatures,
+		IndexBytes:     s.IndexBytes,
+		GraphBytes:     s.GraphBytes,
+		SigTableBytes:  s.SigTableBytes,
+		BitmapVertices: s.BitmapVertices,
+		BitmapBytes:    s.BitmapBytes,
+		DeltaEdges:     s.DeltaEdges,
+		DeadEdges:      s.DeadEdges,
 	}
 }
 

@@ -136,6 +136,7 @@ func (h *Hypergraph) adoptPartitions(parts []RawPartition) error {
 			Edges:     rp.Edges,
 		}
 		p.setCSR(rp.Verts, rp.Offsets, rp.Posts)
+		p.buildBitmapSidecar() // derived, never persisted: rebuild on load
 		h.partitions = append(h.partitions, p)
 	}
 	if err := h.checkNoDuplicateEdges(); err != nil {

@@ -293,6 +293,9 @@ func (h *Hypergraph) buildCSR() {
 	for pi, p := range h.partitions {
 		p.offsets = append(p.offsets, fill[pi])
 	}
+	for _, p := range h.partitions {
+		p.buildBitmapSidecar()
+	}
 }
 
 // PartitionForLabelled returns the table for (edge label, signature) in an

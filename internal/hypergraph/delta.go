@@ -2,6 +2,7 @@ package hypergraph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,17 @@ type DeltaBuffer struct {
 	pendTab  *u32Interner  // (edge label, sorted vertex set) -> pending slot
 	livePend int
 	dead     map[EdgeID]struct{} // tombstoned base edges
+
+	// Pooled publish-side scratch (guarded by mu): the append-side maps a
+	// publication fills and drains are reused across publications instead
+	// of being reallocated per snapshot, which cuts the per-ingest-request
+	// garbage roughly in half (the rest is the retained snapshot itself).
+	// pubAddInc keeps its value slices' backings alive between uses —
+	// entries are truncated, not deleted, so steady-state publication
+	// appends into recycled buffers.
+	pubAddInc  map[VertexID][]EdgeID
+	pubTouched map[VertexID]struct{}
+	segCnt     map[VertexID]uint32
 }
 
 type pendingEdge struct {
@@ -293,6 +305,14 @@ func (d *DeltaBuffer) normalise(vertices []uint32) ([]uint32, error) {
 	return setops.Dedup(vs), nil
 }
 
+// segCntMap returns the pooled segment-CSR counting map (guarded by mu).
+func (d *DeltaBuffer) segCntMap() map[VertexID]uint32 {
+	if d.segCnt == nil {
+		d.segCnt = make(map[VertexID]uint32)
+	}
+	return d.segCnt
+}
+
 // publishLocked builds and publishes a fresh snapshot from base + pending
 // state. Cost is O(|V| + |E|) slice-header copies plus work proportional
 // to the touched partitions and the delta itself; everything untouched is
@@ -311,9 +331,15 @@ func (d *DeltaBuffer) publishLocked() {
 	// AddVertex appends copy rather than scribble on this snapshot.
 	h.labels = d.labels[:len(d.labels):len(d.labels)]
 
-	// Edge table: share the base prefix, append every pending slot (dead
+	// Edge table: share the base prefix outright when nothing was appended;
+	// otherwise copy it once at exact capacity (append-grow doubling would
+	// copy it anyway, plus churn), then append every pending slot (dead
 	// ones too — ID slots are stable until compaction).
 	edges := base.edges[:nb:nb]
+	if nPend > 0 {
+		edges = make([][]uint32, nb, nb+nPend)
+		copy(edges, base.edges)
+	}
 	hasEL := base.edgeLabels != nil
 	for _, pe := range d.pend {
 		edges = append(edges, pe.vs)
@@ -369,11 +395,21 @@ func (d *DeltaBuffer) publishLocked() {
 
 	// Incidence: copy the header array, then rebuild only the lists of
 	// vertices touched by tombstoned base edges or live pending edges.
-	// Pending IDs all exceed base IDs, so appends keep lists sorted.
+	// Pending IDs all exceed base IDs, so appends keep lists sorted. The
+	// rebuilt lists are carved out of one exactly-sized backing array
+	// (sized up-front from the touched lists' lengths), and the side maps
+	// come from the buffer's pooled scratch.
 	inc := make([][]uint32, len(h.labels))
 	copy(inc, base.incidence)
-	addInc := make(map[VertexID][]EdgeID)
-	touched := make(map[VertexID]struct{})
+	if d.pubAddInc == nil {
+		d.pubAddInc = make(map[VertexID][]EdgeID)
+		d.pubTouched = make(map[VertexID]struct{})
+	}
+	addInc, touched := d.pubAddInc, d.pubTouched
+	for v := range addInc {
+		addInc[v] = addInc[v][:0] // keep the backings for reuse
+	}
+	clear(touched)
 	for i, pe := range d.pend {
 		if d.pendDead[i] {
 			continue
@@ -389,16 +425,29 @@ func (d *DeltaBuffer) publishLocked() {
 			touched[v] = struct{}{}
 		}
 	}
+	total := 0
 	for v := range touched {
-		var nl []uint32
 		if int(v) < len(base.incidence) {
-			for _, e := range base.incidence[v] {
-				if !isDeadBase(e) {
-					nl = append(nl, e)
+			total += len(base.incidence[v])
+		}
+		total += len(addInc[v])
+	}
+	backing := make([]uint32, 0, total) // upper bound: tombstones shrink lists
+	for v := range touched {
+		start := len(backing)
+		if int(v) < len(base.incidence) {
+			if len(d.dead) == 0 {
+				backing = append(backing, base.incidence[v]...)
+			} else {
+				for _, e := range base.incidence[v] {
+					if !isDeadBase(e) {
+						backing = append(backing, e)
+					}
 				}
 			}
 		}
-		inc[v] = append(nl, addInc[v]...)
+		backing = append(backing, addInc[v]...)
+		inc[v] = backing[start:len(backing):len(backing)]
 	}
 	h.incidence = inc
 
@@ -472,7 +521,8 @@ func (d *DeltaBuffer) publishLocked() {
 				continue
 			}
 			np := &Partition{Sig: bp.Sig, SigID: bp.SigID, EdgeLabel: bp.EdgeLabel, Edges: live}
-			np.setCSR(buildSegmentCSR(edges, live))
+			np.setCSR(buildSegmentCSR(edges, live, d.segCntMap()))
+			np.buildBitmapSidecar() // fresh base segment, fresh containers
 			parts[pi] = np
 		}
 	}
@@ -504,7 +554,7 @@ func (d *DeltaBuffer) publishLocked() {
 				pi = x
 			}
 		}
-		dv, do, dp := buildSegmentCSR(edges, g.ids)
+		dv, do, dp := buildSegmentCSR(edges, g.ids, d.segCntMap())
 		switch {
 		case pi >= 0 && parts[pi] != nil:
 			bp := parts[pi] // base partition, or its tombstone-filtered rebuild
@@ -513,6 +563,7 @@ func (d *DeltaBuffer) publishLocked() {
 				Edges: append(bp.Edges[:len(bp.Edges):len(bp.Edges)], g.ids...),
 			}
 			np.setCSR(bp.verts, bp.offsets, bp.posts)
+			np.shareBitmapSidecar(bp) // base CSR shared verbatim, sidecar too
 			np.setDeltaCSR(len(g.ids), dv, do, dp)
 			parts[pi] = np
 			record(g, int(pi))
@@ -597,28 +648,40 @@ func (d *DeltaBuffer) publishLocked() {
 // buildSegmentCSR constructs one canonical CSR block over the given member
 // edges: sorted vertex dictionary, spanning offsets, posting lists sorted
 // because members arrive in ascending ID order. Off the hot path — it runs
-// only at snapshot publication, for touched partitions.
-func buildSegmentCSR(edges [][]uint32, members []EdgeID) (verts []VertexID, offsets []uint32, posts []EdgeID) {
-	lists := make(map[VertexID][]EdgeID)
+// only at snapshot publication, for touched partitions. cnt is a pooled
+// counting map (cleared here); the retained outputs are allocated at exact
+// size in a count/fill two-pass, so publication leaves no map-of-slices
+// garbage behind.
+func buildSegmentCSR(edges [][]uint32, members []EdgeID, cnt map[VertexID]uint32) (verts []VertexID, offsets []uint32, posts []EdgeID) {
+	clear(cnt)
 	total := 0
 	for _, e := range members {
 		for _, v := range edges[e] {
-			lists[v] = append(lists[v], e)
+			cnt[v]++
 			total++
 		}
 	}
-	verts = make([]VertexID, 0, len(lists))
-	for v := range lists {
+	verts = make([]VertexID, 0, len(cnt))
+	for v := range cnt {
 		verts = append(verts, v)
 	}
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
-	offsets = make([]uint32, 0, len(verts)+1)
-	posts = make([]EdgeID, 0, total)
-	for _, v := range verts {
-		offsets = append(offsets, uint32(len(posts)))
-		posts = append(posts, lists[v]...)
+	slices.Sort(verts)
+	offsets = make([]uint32, len(verts)+1)
+	off := uint32(0)
+	for i, v := range verts {
+		offsets[i] = off
+		c := cnt[v]
+		cnt[v] = off // repurpose as the vertex's fill cursor
+		off += c
 	}
-	offsets = append(offsets, uint32(len(posts)))
+	offsets[len(verts)] = off
+	posts = make([]EdgeID, total)
+	for _, e := range members {
+		for _, v := range edges[e] {
+			posts[cnt[v]] = e
+			cnt[v]++
+		}
+	}
 	return verts, offsets, posts
 }
 

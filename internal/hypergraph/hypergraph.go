@@ -320,6 +320,23 @@ func (h *Hypergraph) FindEdge(vertices []uint32) (EdgeID, bool) {
 	return 0, false
 }
 
+// WithoutBitmapSidecars returns a clone of h whose partitions carry no
+// bitmap posting containers, sharing every other structure with h. Matching
+// produces identical results on either graph — the sidecar is pure
+// acceleration — so the clone serves two purposes: equivalence tests pin
+// the hybrid kernels against the array-only path, and memory-constrained
+// deployments can shed Stats.BitmapBytes of derived state.
+func (h *Hypergraph) WithoutBitmapSidecars() *Hypergraph {
+	nh := *h
+	nh.partitions = make([]*Partition, len(h.partitions))
+	for i, p := range h.partitions {
+		np := *p
+		np.dropBitmapSidecar()
+		nh.partitions[i] = &np
+	}
+	return &nh
+}
+
 // String returns a short human-readable summary.
 func (h *Hypergraph) String() string {
 	return fmt.Sprintf("Hypergraph{V=%d E=%d Σ=%d amax=%d a=%.1f partitions=%d}",

@@ -54,7 +54,34 @@ type Partition struct {
 	dverts   []VertexID
 	doffsets []uint32
 	dposts   []EdgeID
+
+	// Bitmap sidecar: word-parallel posting containers for the DENSE
+	// vertices of the base segment (posting length ≥ the setops.DenseRatio
+	// density threshold over the table's cardinality). Bitmaps live in the
+	// table's local rank space — member edge Edges[i] is rank i — so a
+	// table of n members costs ⌈n/64⌉ words per dense vertex however
+	// sparse its global IDs. ranks maps member IDs back to ranks for the
+	// kernels' scatter/probe steps, bmIdx parallels verts (-1 = array
+	// only), and all bitmap words share one backing array. The sidecar is
+	// derived state: built after the base CSR, rebuilt whenever the base
+	// segment is (delta publication with deletes, compaction, binary
+	// load), never persisted.
+	ranks setops.RankTable
+	bmIdx []int32
+	bms   []setops.Bitmap
 }
+
+// Bitmap sidecar build thresholds (see docs/ARCHITECTURE.md,
+// "Set-operation kernels"). Tables below bitmapMinEdges stay array-only:
+// their posting lists are too short for word-parallelism to matter. The
+// rank table spans the member IDs' global range, so it is capped at
+// rankSpanFactor entries per member — power-law ID interleaving keeps real
+// tables far below it, and a pathological spread falls back to arrays
+// rather than burning memory.
+const (
+	bitmapMinEdges = 64
+	rankSpanFactor = 64
+)
 
 // Len returns the table cardinality |{e ∈ E(H) : S(e) = Sig}|. This is the
 // O(1) Card() fetch used by the matching-order planner (Definition V.2).
@@ -89,11 +116,116 @@ func (p *Partition) DeltaPostings(v VertexID) []EdgeID {
 	return csrPostings(p.dverts, p.doffsets, p.dposts, v)
 }
 
-// csrPostings ranks v in a CSR vertex dictionary by binary search and
-// returns its posting-list view; the dictionary is small (vertices of one
+// PostingsView returns he(v, Sig) over the table's base segment as a
+// hybrid zero-copy view: the word-parallel bitmap container when v is one
+// of the table's dense vertices, the sorted CSR array slice otherwise.
+// Bitmap views are in the table's local rank space — decode through
+// BaseEdges(), scatter/probe through BitmapRanks(). Callers must not
+// mutate either representation. A vertex not occurring in the base
+// segment yields the empty view.
+func (p *Partition) PostingsView(v VertexID) setops.View {
+	if p == nil {
+		return setops.View{}
+	}
+	i := csrRank(p.verts, v)
+	if i < 0 {
+		return setops.View{}
+	}
+	if p.bmIdx != nil && p.bmIdx[i] >= 0 {
+		return setops.View{Bits: &p.bms[p.bmIdx[i]]}
+	}
+	return setops.View{Arr: p.posts[p.offsets[i]:p.offsets[i+1]]}
+}
+
+// HasBitmaps reports whether the table carries a bitmap sidecar (at least
+// one dense vertex posting container).
+func (p *Partition) HasBitmaps() bool { return p != nil && len(p.bms) > 0 }
+
+// BitmapRanks returns the sidecar's member-ID→rank mapping (empty without
+// a sidecar). Callers must not mutate it.
+func (p *Partition) BitmapRanks() setops.RankTable { return p.ranks }
+
+// NumBaseEdges returns the base-segment cardinality: the rank span of the
+// sidecar's bitmaps.
+func (p *Partition) NumBaseEdges() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Edges) - p.nDelta
+}
+
+// BitmapStats returns the sidecar's footprint: how many vertices carry a
+// bitmap container, and the total sidecar bytes (bitmap words + the
+// per-vertex index + the rank table). Both are 0 without a sidecar.
+func (p *Partition) BitmapStats() (verts, bytes int) {
+	if p == nil || len(p.bms) == 0 {
+		return 0, 0
+	}
+	words := setops.WordsFor(p.NumBaseEdges())
+	return len(p.bms), 8*words*len(p.bms) + 4*len(p.bmIdx) + p.ranks.Bytes()
+}
+
+// buildBitmapSidecar (re)derives the bitmap sidecar from the base CSR:
+// one linear sweep over the posting arrays scattering each dense vertex's
+// list into its container. Called wherever a base segment is (re)built —
+// offline build, delta publication rebuilds, binary-load assembly.
+func (p *Partition) buildBitmapSidecar() {
+	p.ranks, p.bmIdx, p.bms = setops.RankTable{}, nil, nil
+	base := p.BaseEdges()
+	n := len(base)
+	if n < bitmapMinEdges || len(p.verts) == 0 {
+		return
+	}
+	if int(base[n-1]-base[0])+1 > rankSpanFactor*n {
+		return
+	}
+	nDense := 0
+	for i := range p.verts {
+		if setops.Dense(int(p.offsets[i+1]-p.offsets[i]), n) {
+			nDense++
+		}
+	}
+	if nDense == 0 {
+		return
+	}
+	words := setops.WordsFor(n)
+	p.ranks = setops.BuildRankTable(base)
+	p.bmIdx = make([]int32, len(p.verts))
+	p.bms = make([]setops.Bitmap, 0, nDense)
+	backing := make([]uint64, nDense*words)
+	for i := range p.verts {
+		p.bmIdx[i] = -1
+		pl := p.posts[p.offsets[i]:p.offsets[i+1]]
+		if !setops.Dense(len(pl), n) {
+			continue
+		}
+		var bm setops.Bitmap
+		bm.Reuse(backing[:words:words], n)
+		backing = backing[words:]
+		bm.AddRanked(pl, p.ranks)
+		bm.Count() // cache the cardinality for the kernels' sizing sorts
+		p.bmIdx[i] = int32(len(p.bms))
+		p.bms = append(p.bms, bm)
+	}
+}
+
+// shareBitmapSidecar adopts src's sidecar; valid only when p shares src's
+// base CSR arrays verbatim (copy-on-write delta publication).
+func (p *Partition) shareBitmapSidecar(src *Partition) {
+	p.ranks, p.bmIdx, p.bms = src.ranks, src.bmIdx, src.bms
+}
+
+// dropBitmapSidecar removes the sidecar, returning the table to array-only
+// posting views. Matching output is identical either way.
+func (p *Partition) dropBitmapSidecar() {
+	p.ranks, p.bmIdx, p.bms = setops.RankTable{}, nil, nil
+}
+
+// csrRank locates v in a CSR vertex dictionary by binary search,
+// returning its index or -1; the dictionary is small (vertices of one
 // signature's edges) and contiguous, so this stays cache-resident on the
 // hot path.
-func csrPostings(verts []VertexID, offsets []uint32, posts []EdgeID, v VertexID) []EdgeID {
+func csrRank(verts []VertexID, v VertexID) int {
 	lo, hi := 0, len(verts)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -104,9 +236,18 @@ func csrPostings(verts []VertexID, offsets []uint32, posts []EdgeID, v VertexID)
 		}
 	}
 	if lo == len(verts) || verts[lo] != v {
+		return -1
+	}
+	return lo
+}
+
+// csrPostings returns v's posting-list view from one CSR block.
+func csrPostings(verts []VertexID, offsets []uint32, posts []EdgeID, v VertexID) []EdgeID {
+	i := csrRank(verts, v)
+	if i < 0 {
 		return nil
 	}
-	return posts[offsets[lo]:offsets[lo+1]]
+	return posts[offsets[i]:offsets[i+1]]
 }
 
 // PostingVertices returns the sorted set of vertices occurring in the
@@ -228,6 +369,42 @@ func (p *Partition) validate(h *Hypergraph) error {
 	if p.nDelta > 0 || len(p.dverts) > 0 {
 		if err := validateCSRBlock(h, p.DeltaEdges(), p.dverts, p.doffsets, p.dposts); err != nil {
 			return fmt.Errorf("delta CSR: %w", err)
+		}
+	}
+	// Bitmap sidecar: the rank table must invert the base member array,
+	// and every bitmap container must decode to exactly its vertex's CSR
+	// posting list (the sidecar is derived state — any divergence means a
+	// rebuild was missed).
+	if p.bmIdx != nil || len(p.bms) > 0 {
+		if len(p.bmIdx) != len(p.verts) {
+			return fmt.Errorf("bitmap index covers %d of %d vertices", len(p.bmIdx), len(p.verts))
+		}
+		if p.ranks.IsEmpty() {
+			return fmt.Errorf("bitmap sidecar without a rank table")
+		}
+		for i, e := range p.BaseEdges() {
+			if int(p.ranks.Rank(e)) != i {
+				return fmt.Errorf("rank table maps edge %d to %d, want %d", e, p.ranks.Rank(e), i)
+			}
+		}
+		seenBm := 0
+		for i := range p.verts {
+			bi := p.bmIdx[i]
+			if bi < 0 {
+				continue
+			}
+			if int(bi) >= len(p.bms) {
+				return fmt.Errorf("bitmap index %d out of range", bi)
+			}
+			seenBm++
+			got := p.bms[bi].AppendUnranked(nil, p.BaseEdges())
+			if !setops.Equal(got, p.PostingsAt(i)) {
+				return fmt.Errorf("bitmap container of vertex %d decodes to %v, posting list is %v",
+					p.verts[i], got, p.PostingsAt(i))
+			}
+		}
+		if seenBm != len(p.bms) {
+			return fmt.Errorf("bitmap index references %d of %d containers", seenBm, len(p.bms))
 		}
 	}
 	// Every member edge must appear in the posting list of each member

@@ -17,6 +17,14 @@ type Stats struct {
 	SigTableBytes int     // footprint of the signature interner's hash table
 	DeltaEdges    int     // online hyperedges in append-side segments (uncompacted)
 	DeadEdges     int     // tombstoned hyperedge slots awaiting compaction
+
+	// Bitmap posting-container sidecar (word-parallel set kernels):
+	// how many dense vertices carry a bitmap container, and the sidecar's
+	// total footprint (bitmap words + per-vertex index + rank tables),
+	// counted separately from IndexBytes so operators can see what the
+	// acceleration structure costs on top of the CSR index.
+	BitmapVertices int
+	BitmapBytes    int
 }
 
 // ComputeStats gathers Table II-style statistics for h.
@@ -37,6 +45,9 @@ func ComputeStats(h *Hypergraph) Stats {
 		s.IndexBytes += p.IndexBytes()
 		s.GraphBytes += p.TableBytes(h)
 		s.DeltaEdges += p.NumDeltaEdges()
+		bv, bb := p.BitmapStats()
+		s.BitmapVertices += bv
+		s.BitmapBytes += bb
 	}
 	return s
 }

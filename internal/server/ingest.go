@@ -45,8 +45,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(status)
 		json.NewEncoder(w).Encode(sum)
 	}
+	// One record reused across the whole batch: encoding/json fills slices
+	// in place when capacity suffices, so a bulk request decodes its
+	// vertex lists into one recycled buffer instead of allocating per
+	// line. (The DeltaBuffer copies what it retains — see normalise — so
+	// handing it a reused slice is safe.) Every other field is reset
+	// explicitly each iteration; Decode only writes fields present on the
+	// line.
+	var rec hgio.IngestRecord
 	for {
-		var rec hgio.IngestRecord
+		rec = hgio.IngestRecord{Vertices: rec.Vertices[:0]}
 		if err := dec.Decode(&rec); err != nil {
 			if errors.Is(err, io.EOF) {
 				break

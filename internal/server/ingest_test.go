@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"hgmatch"
 	"hgmatch/internal/hgio"
 	"hgmatch/internal/hgtest"
+	"hgmatch/internal/hypergraph"
 )
 
 func postJSON(t testing.TB, ts *httptest.Server, path, body string) (*http.Response, []byte) {
@@ -375,4 +377,152 @@ func TestConcurrentIngestAndMatchHTTP(t *testing.T) {
 	if h, _ := s.Graphs().Get("fig1"); h.Validate() != nil {
 		t.Fatalf("settled graph invalid: %v", h.Validate())
 	}
+}
+
+// TestIngestMatchGoldenDense is TestIngestMatchGolden on a graph dense
+// enough to activate the bitmap posting-container sidecar (one label,
+// small arities, hundreds of edges per signature table): /match responses
+// must stay byte-identical (modulo stream order) across three servings of
+// the same edge set — a cold offline build (sidecars on), the same build
+// with sidecars stripped (the pre-hybrid array-only path), and a live
+// graph grown by online ingest — before and after compaction.
+func TestIngestMatchGoldenDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cold := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+		NumVertices: 30, NumEdges: 420, NumLabels: 1, MaxArity: 3,
+	})
+	if s := hypergraph.ComputeStats(cold); s.BitmapVertices == 0 {
+		t.Fatalf("fixture built no bitmap containers: %+v", s)
+	}
+	nb := cold.NumEdges() / 2
+
+	b := hgmatch.NewBuilder()
+	for v := 0; v < cold.NumVertices(); v++ {
+		b.AddVertex(cold.Label(uint32(v)))
+	}
+	for e := 0; e < nb; e++ {
+		b.AddEdge(cold.Edge(hgmatch.EdgeID(e))...)
+	}
+	base, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	if err := reg.Add("live", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("cold", cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("cold_arrays", cold.WithoutBitmapSidecars()); err != nil {
+		t.Fatal(err)
+	}
+	// The plan cache is disabled: its canonical keys treat isomorphic
+	// query texts as one entry, and with a single label the sampler
+	// redraws isomorphic queries often — a cached plan's matching order
+	// (numbered in the earlier text's edge IDs) would make the capped
+	// single-worker streams diverge spuriously. Every request compiles
+	// the exact text under test, so orders are deterministic per text.
+	s := New(reg, Config{PlanCacheSize: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ingest strings.Builder
+	for e := nb; e < cold.NumEdges(); e++ {
+		rec := hgio.IngestRecord{Op: "insert", Vertices: cold.Edge(hgmatch.EdgeID(e))}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingest.Write(line)
+		ingest.WriteByte('\n')
+	}
+	resp, raw := postJSON(t, ts, "/graphs/live/edges", ingest.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk ingest status %d: %s", resp.StatusCode, raw)
+	}
+
+	compareQueries := func(stage string) {
+		t.Helper()
+		compared := 0
+		for i := 0; i < 24 && compared < 6; i++ {
+			q := hgtest.ConnectedQueryFromWalk(rng, cold, 2+rng.Intn(2))
+			if q == nil {
+				continue
+			}
+			qText := graphText(t, q)
+			// One worker + a result cap keep the comparison deterministic
+			// AND fast: single-worker enumeration order is fixed, so the
+			// capped prefix is the same for every serving of the edge set.
+			req := hgio.MatchRequest{Graph: "cold", Query: qText, Workers: 1, Limit: 5000}
+			wantLines, wantSum := sortedMatchLines(t, ts, req)
+			if len(wantLines) == 0 {
+				continue
+			}
+			compared++
+			for _, g := range []string{"cold_arrays", "live"} {
+				req.Graph = g
+				gotLines, gotSum := sortedMatchLines(t, ts, req)
+				if strings.Join(gotLines, "\n") != strings.Join(wantLines, "\n") {
+					t.Fatalf("%s: query %d: %s stream diverges from cold (%d vs %d lines)",
+						stage, i, g, len(gotLines), len(wantLines))
+				}
+				if gotSum.Embeddings != wantSum.Embeddings ||
+					fmt.Sprint(gotSum.Order) != fmt.Sprint(wantSum.Order) {
+					t.Fatalf("%s: query %d: %s summaries diverge: %+v vs %+v", stage, i, g, gotSum, wantSum)
+				}
+			}
+		}
+		if compared == 0 {
+			t.Fatalf("%s: no non-empty queries sampled; fixture needs retuning", stage)
+		}
+	}
+
+	compareQueries("delta")
+
+	resp, raw = postJSON(t, ts, "/graphs/live/compact", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status %d: %s", resp.StatusCode, raw)
+	}
+	compareQueries("compacted")
+
+	// The stats endpoint must surface the sidecar for the dense graph and
+	// zero for the stripped serving.
+	resp, raw = postJSON2(t, ts, "/graphs/cold/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var info hgio.GraphInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.BitmapVertices == 0 || info.BitmapBytes == 0 {
+		t.Fatalf("stats hide the sidecar: %+v", info)
+	}
+	resp, raw = postJSON2(t, ts, "/graphs/cold_arrays/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.BitmapVertices != 0 || info.BitmapBytes != 0 {
+		t.Fatalf("stripped serving reports a sidecar: %+v", info)
+	}
+}
+
+// postJSON2 is a GET helper mirroring postJSON's return shape.
+func postJSON2(t testing.TB, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
 }

@@ -1,0 +1,292 @@
+package setops
+
+// k-way kernels over mixed array+bitmap posting views. Candidate
+// generation (Algorithm 4) unions the posting lists of every viable vertex
+// into one set per (adjacent edge, shared vertex) pair and intersects those
+// sets; with k posting lists the former pairwise-union chain re-copied the
+// accumulator k-1 times, O(k·n). UnionK does one pass: a loser tree merges
+// sparse array inputs in O(n log k), and when the inputs are dense relative
+// to the table span the kernel switches to word-parallel accumulation —
+// OR for bitmap inputs, rank-scatter for arrays. IntersectK mirrors the
+// split on the intersection side.
+
+// DenseRatio is the adaptive density threshold shared by the kernels and
+// the posting-container builder: a set of n elements over a table of nbits
+// ranks is worth a bitmap when n*DenseRatio >= nbits. At 32 the bitmap
+// (⌈nbits/64⌉ words) never costs more memory than the ⌈n⌉ uint32 array,
+// and the word loops touch at most ~2n words — see BenchmarkAblationSetops
+// for the measured crossover.
+const DenseRatio = 32
+
+// Dense reports whether a set of n elements over a span of nbits ranks
+// should use the bitmap representation.
+func Dense(n, nbits int) bool { return nbits > 0 && n*DenseRatio >= nbits }
+
+// KScratch holds the reusable state of the k-way kernels: the loser tree,
+// the intersection accumulator and the pairwise double buffer. One per
+// worker scratch; zero value ready to use. Buffers grow on first use and
+// are retained, so steady-state calls allocate nothing.
+type KScratch struct {
+	And   Bitmap // intersection accumulator (owns its words)
+	ls    []int32
+	cur   []int32
+	keys  []int64
+	order []int32
+	tmp   []uint32
+}
+
+// UnionK unions k posting views into a single set. Array inputs hold
+// sorted global IDs; bitmap inputs are in the local rank space described
+// by rank. The kernel picks the representation adaptively:
+//
+//   - dense (any bitmap input, or Dense(total, nbits) with a usable rank
+//     table): bm is cleared and accumulated word-parallel — Or per bitmap
+//     input, rank-scatter per array input — and View{Bits: bm} returns.
+//   - sparse: a loser tree merges the arrays into dst's backing and
+//     View{Arr: ...} returns; the caller reclaims the grown buffer from
+//     the view.
+//
+// dst must not alias any input (it is written front to back while inputs
+// are still being read). nbits is the rank span of the table all views
+// belong to; pass 0 (with an empty rank table) to force the sparse path.
+// Single-view calls return the input itself, zero-copy.
+func UnionK(dst []uint32, bm *Bitmap, nbits int, rank RankTable, views []View, ks *KScratch) View {
+	switch len(views) {
+	case 0:
+		return View{Arr: dst}
+	case 1:
+		return views[0]
+	}
+	total := 0
+	anyBits := false
+	for _, v := range views {
+		if v.Bits != nil {
+			anyBits = true
+			total += v.Bits.Count()
+		} else {
+			total += len(v.Arr)
+		}
+	}
+	if anyBits || (!rank.IsEmpty() && Dense(total, nbits)) {
+		bm.Clear()
+		for _, v := range views {
+			if v.Bits != nil {
+				bm.Or(v.Bits)
+			} else {
+				bm.AddRanked(v.Arr, rank)
+			}
+		}
+		return View{Bits: bm}
+	}
+	// Tiny k: the pairwise chain's tight merge loop beats the loser tree's
+	// per-element replay (see BenchmarkAblationSetops k=4 sparse); the tree
+	// takes over at k ≥ 4, where the chain's re-copied accumulator costs
+	// O(k·n).
+	switch len(views) {
+	case 2:
+		return View{Arr: Union(dst, views[0].Arr, views[1].Arr)}
+	case 3:
+		ks.tmp = Union(ks.tmp[:0], views[0].Arr, views[1].Arr)
+		return View{Arr: Union(dst, ks.tmp, views[2].Arr)}
+	}
+	return View{Arr: ks.unionTree(dst, views)}
+}
+
+// unionTree is the sparse k-way union: a loser tree over the array views,
+// emitting the ascending merged stream with duplicates collapsed in
+// O(n log k) comparisons. Leaves use the conventional implicit numbering
+// (leaf s has parent (s+k)/2), so it works for any k, not just powers of
+// two. Player keys are cached in a flat slice — the replay loop is pure
+// integer compares and swaps, no calls.
+func (ks *KScratch) unionTree(dst []uint32, views []View) []uint32 {
+	k := len(views)
+	if cap(ks.ls) < k {
+		ks.ls = make([]int32, k)
+		ks.cur = make([]int32, k)
+		ks.keys = make([]int64, k)
+	}
+	ls, cur, keys := ks.ls[:k], ks.cur[:k], ks.keys[:k]
+	// Exhausted players sort after every live uint32 value.
+	const exhausted = int64(1) << 40
+	for i := 0; i < k; i++ {
+		cur[i] = 0
+		if a := views[i].Arr; len(a) > 0 {
+			keys[i] = int64(a[0])
+		} else {
+			keys[i] = exhausted
+		}
+		ls[i] = -1
+	}
+	// Build: push each leaf up its path. Virtual players (index -1, key
+	// -1) win every build match, carrying "slot empty" upward until they
+	// are discarded at the root by the next leaf's final ls[0] write.
+	for i := k - 1; i >= 0; i-- {
+		s, sk := int32(i), keys[i]
+		for t := (i + k) / 2; t > 0; t /= 2 {
+			o := ls[t]
+			ok := int64(-1)
+			if o >= 0 {
+				ok = keys[o]
+			}
+			if sk > ok {
+				ls[t], s, sk = s, o, ok
+			}
+		}
+		ls[0] = s
+	}
+	last := int64(-1)
+	for {
+		w := ls[0]
+		kw := keys[w]
+		if kw == exhausted {
+			return dst
+		}
+		if kw != last {
+			dst = append(dst, uint32(kw))
+			last = kw
+		}
+		// Advance the winner and replay its path.
+		c := cur[w] + 1
+		cur[w] = c
+		if a := views[w].Arr; int(c) < len(a) {
+			keys[w] = int64(a[c])
+		} else {
+			keys[w] = exhausted
+		}
+		s, sk := w, keys[w]
+		for t := (int(w) + k) / 2; t > 0; t /= 2 {
+			o := ls[t]
+			if o >= 0 && sk > keys[o] {
+				ls[t], s, sk = s, o, keys[o]
+			}
+		}
+		ls[0] = s
+	}
+}
+
+// IntersectK intersects k posting views and returns the result as a
+// sorted GLOBAL-ID slice: bitmap-only intersections decode through unrank
+// (the table's member-edge array). dst is a reusable output buffer passed
+// with length 0; the result lands in dst's backing or in scratch owned by
+// ks — never in an input — so callers may freely reuse the returned slice
+// as next call's dst. Views are processed smallest-first.
+//
+// The split mirrors UnionK: bitmap inputs AND word-parallel into the
+// scratch accumulator (never mutating an input — sidecar bitmaps are
+// shared index state); array inputs then probe the accumulator rank-wise,
+// or, with no bitmaps at all, run the scalar smallest-first pairwise
+// kernels.
+func IntersectK(dst []uint32, views []View, rank RankTable, unrank []uint32, ks *KScratch) []uint32 {
+	switch len(views) {
+	case 0:
+		return dst
+	case 1:
+		if b := views[0].Bits; b != nil {
+			return b.AppendUnranked(dst, unrank)
+		}
+		return append(dst, views[0].Arr...)
+	}
+
+	nbits := 0
+	for _, v := range views {
+		if v.Bits != nil {
+			nbits++
+		}
+	}
+	if nbits == 0 {
+		return ks.intersectArrays(dst, views)
+	}
+
+	// Fold every bitmap into the accumulator, cheapest-to-shrink first is
+	// irrelevant word-wise (cost is span words regardless), so plain order.
+	first := true
+	for _, v := range views {
+		if v.Bits == nil {
+			continue
+		}
+		if first {
+			ks.And.CopyFrom(v.Bits)
+			first = false
+		} else {
+			ks.And.And(v.Bits)
+		}
+	}
+	if nbits == len(views) {
+		return ks.And.AppendUnranked(dst, unrank)
+	}
+
+	// Mixed: iterate the smallest array, probe the folded bitmap O(1) per
+	// element and gallop the remaining arrays with monotone cursors.
+	small := -1
+	for i, v := range views {
+		if v.Bits != nil {
+			continue
+		}
+		if small < 0 || len(v.Arr) < len(views[small].Arr) {
+			small = i
+		}
+	}
+	if cap(ks.cur) < len(views) {
+		ks.cur = make([]int32, len(views))
+	}
+	cur := ks.cur[:len(views)]
+	for i := range cur {
+		cur[i] = 0
+	}
+probe:
+	for _, x := range views[small].Arr {
+		if !ks.And.Contains(rank.Rank(x)) {
+			continue
+		}
+		for i, v := range views {
+			if i == small || v.Bits != nil {
+				continue
+			}
+			lo := gallop(v.Arr, int(cur[i]), x)
+			cur[i] = int32(lo)
+			if lo == len(v.Arr) || v.Arr[lo] != x {
+				continue probe
+			}
+		}
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// intersectArrays is the all-array path: smallest-first pairwise
+// intersection through the merge/gallop kernels, double-buffered against
+// ks.tmp so no input is ever written.
+func (ks *KScratch) intersectArrays(dst []uint32, views []View) []uint32 {
+	if cap(ks.order) < len(views) {
+		ks.order = make([]int32, len(views))
+	}
+	order := ks.order[:0]
+	for i := range views {
+		order = append(order, int32(i))
+	}
+	for i := 1; i < len(order); i++ {
+		x := order[i]
+		j := i - 1
+		for j >= 0 && len(views[x].Arr) < len(views[order[j]].Arr) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = x
+	}
+	// Alternate between dst's backing and ks.tmp as output buffers so no
+	// Intersect call ever writes into the set it is reading; whichever
+	// buffer does not carry the final result is retained in ks.tmp.
+	res := views[order[0]].Arr
+	out, spare := dst[:0], ks.tmp[:0]
+	for _, oi := range order[1:] {
+		if len(res) == 0 {
+			ks.tmp = spare
+			return out[:0]
+		}
+		out = Intersect(out[:0], res, views[oi].Arr)
+		res = out
+		out, spare = spare, out
+	}
+	ks.tmp = out
+	return res
+}

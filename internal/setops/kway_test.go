@@ -1,0 +1,159 @@
+package setops
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildViews materialises sets as posting views over their union "table":
+// the table's member array is the union, ranks map members to positions,
+// and every set whose selector bit is on becomes a bitmap in rank space —
+// exactly the shape Partition.PostingsView hands the kernels.
+func buildViews(sets [][]uint32, bitmapMask uint) (views []View, rank RankTable, unrank []uint32) {
+	var members []uint32
+	for _, s := range sets {
+		members = Union(members[:0:0], members, s)
+	}
+	rank = BuildRankTable(members)
+	for i, s := range sets {
+		if bitmapMask&(1<<i) != 0 && len(members) > 0 {
+			b := FromSorted(nil, len(members))
+			b.AddRanked(s, rank)
+			views = append(views, View{Bits: b})
+		} else {
+			views = append(views, View{Arr: s})
+		}
+	}
+	return views, rank, members
+}
+
+func naiveUnionAll(sets [][]uint32) []uint32 {
+	var out []uint32
+	for _, s := range sets {
+		out = naiveUnion(out, s)
+	}
+	return out
+}
+
+func naiveIntersectAll(sets [][]uint32) []uint32 {
+	if len(sets) == 0 {
+		return nil
+	}
+	out := append([]uint32(nil), sets[0]...)
+	for _, s := range sets[1:] {
+		out = naiveIntersect(out, s)
+	}
+	return out
+}
+
+func TestUnionKAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ks KScratch
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(6)
+		span := 1 + rng.Intn(300)
+		sets := make([][]uint32, k)
+		for i := range sets {
+			sets[i] = randSet(rng, rng.Intn(40), span)
+		}
+		want := naiveUnionAll(sets)
+		for _, mask := range []uint{0, uint(rng.Intn(1 << k)), (1 << k) - 1} {
+			views, rank, unrank := buildViews(sets, mask)
+			var bm Bitmap
+			bm.Reuse(make([]uint64, WordsFor(len(unrank))+1), len(unrank))
+			got := UnionK(nil, &bm, len(unrank), rank, views, &ks)
+			var dec []uint32
+			if got.Bits != nil {
+				dec = got.Bits.AppendUnranked(nil, unrank)
+			} else {
+				dec = got.Arr
+			}
+			if !Equal(dec, want) {
+				t.Fatalf("UnionK k=%d mask=%b = %v want %v", k, mask, dec, want)
+			}
+			if got.Len() != len(want) {
+				t.Fatalf("UnionK Len=%d want %d", got.Len(), len(want))
+			}
+		}
+	}
+}
+
+func TestUnionKSparsePathIsArrays(t *testing.T) {
+	// Without a rank table (nbits=0) the kernel must stay on the sparse
+	// loser-tree path and never touch the bitmap.
+	var ks KScratch
+	sets := [][]uint32{{1, 5}, {2, 5, 9}, {3}, {1, 9}}
+	views := make([]View, len(sets))
+	for i, s := range sets {
+		views[i] = View{Arr: s}
+	}
+	got := UnionK(nil, nil, 0, RankTable{}, views, &ks)
+	if got.Bits != nil {
+		t.Fatal("sparse UnionK produced a bitmap")
+	}
+	if want := []uint32{1, 2, 3, 5, 9}; !Equal(got.Arr, want) {
+		t.Fatalf("UnionK = %v want %v", got.Arr, want)
+	}
+}
+
+func TestIntersectKAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var ks KScratch
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(6)
+		span := 1 + rng.Intn(200)
+		sets := make([][]uint32, k)
+		for i := range sets {
+			// Dense-ish sets so intersections are non-trivially non-empty.
+			sets[i] = randSet(rng, 5+rng.Intn(span), span)
+		}
+		want := naiveIntersectAll(sets)
+		for _, mask := range []uint{0, uint(rng.Intn(1 << k)), (1 << k) - 1} {
+			views, rank, unrank := buildViews(sets, mask)
+			got := IntersectK(nil, views, rank, unrank, &ks)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !Equal(got, want) {
+				t.Fatalf("IntersectK k=%d mask=%b = %v want %v", k, mask, got, want)
+			}
+		}
+	}
+}
+
+func TestIntersectKBufferReuse(t *testing.T) {
+	// Repeated calls through one scratch must keep producing correct
+	// results whatever backing the previous result lived in.
+	var ks KScratch
+	dst := make([]uint32, 0, 4)
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		k := 2 + rng.Intn(4)
+		sets := make([][]uint32, k)
+		for i := range sets {
+			sets[i] = randSet(rng, 30, 60)
+		}
+		views, rank, unrank := buildViews(sets, 0)
+		dst = IntersectK(dst[:0], views, rank, unrank, &ks)
+		if want := naiveIntersectAll(sets); !Equal(dst, want) && len(dst)+len(want) > 0 {
+			t.Fatalf("trial %d: %v want %v", trial, dst, want)
+		}
+	}
+}
+
+func TestLoserTreeManyLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var ks KScratch
+	for _, k := range []int{3, 5, 8, 17, 33, 64} {
+		sets := make([][]uint32, k)
+		views := make([]View, k)
+		for i := range sets {
+			sets[i] = randSet(rng, rng.Intn(25), 1000)
+			views[i] = View{Arr: sets[i]}
+		}
+		got := UnionK(nil, nil, 0, RankTable{}, views, &ks)
+		if want := naiveUnionAll(sets); !Equal(got.Arr, want) {
+			t.Fatalf("k=%d loser tree union mismatch", k)
+		}
+	}
+}

@@ -162,9 +162,21 @@ func Union(dst, a, b []uint32) []uint32 {
 }
 
 // UnionMany returns the sorted union of several sorted sets, appending to
-// dst. It unions lists pairwise smallest-first to keep intermediate results
-// small (Huffman-style), which matters when one posting list dominates.
+// dst.
+//
+// dst must not alias any of the input lists: union output can run ahead of
+// an input's read cursor (the merged stream grows faster than either
+// input), so writing through an aliased dst silently corrupts the inputs
+// mid-merge — e.g. UnionMany(lists[0][:0], lists...) overwrites lists[0]
+// while it is still being read. The common misuse (dst sharing a backing
+// array with an input) is detected and panics; pass a separate scratch
+// buffer instead.
 func UnionMany(dst []uint32, lists ...[]uint32) []uint32 {
+	for _, l := range lists {
+		if sameBacking(dst, l) {
+			panic("setops: UnionMany dst aliases an input list")
+		}
+	}
 	switch len(lists) {
 	case 0:
 		return dst
@@ -183,6 +195,17 @@ func UnionMany(dst []uint32, lists ...[]uint32) []uint32 {
 		acc, scratch = scratch, acc
 	}
 	return append(dst, acc...)
+}
+
+// sameBacking reports whether two slices share a backing array, detected
+// by comparing the address one past each backing's full capacity. Slices
+// carved from the same array with different capacity ends evade it; the
+// cases this guards (dst := list[:0] style reuse) always share the end.
+func sameBacking(a, b []uint32) bool {
+	if cap(a) == 0 || cap(b) == 0 {
+		return false
+	}
+	return &a[:cap(a)][cap(a)-1] == &b[:cap(b)][cap(b)-1]
 }
 
 // Difference returns a \ b (elements of a not in b), appending to dst.

@@ -23,6 +23,14 @@ go test -run '^$' \
 	-bench 'BenchmarkKernelQ3|BenchmarkFig8SingleThread/HGMatch|BenchmarkFig11Scheduling|BenchmarkAblationDeque|BenchmarkPublicAPI|BenchmarkOnlineIngest' \
 	-benchmem -count=3 -benchtime=50x . | tee "$tmp"
 
+# The set-kernel ablation (array vs bitmap vs hybrid containers across
+# density/k) runs at a fixed iteration count high enough for its ns-scale
+# ops; it documents where the hybrid posting containers win and where the
+# adaptive threshold falls back to arrays.
+go test -run '^$' \
+	-bench 'BenchmarkAblationSetops' \
+	-benchmem -count=1 -benchtime=10000x . | tee -a "$tmp"
+
 # The compile and load benches run at the default benchtime: their ops are
 # microseconds-to-milliseconds, so 50 iterations would be too noisy to
 # compare against the committed compile_baseline (which was recorded at
