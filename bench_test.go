@@ -165,6 +165,83 @@ func BenchmarkKernelQ3(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedPoolQ3 measures the shared morsel pool (the hgserve
+// serving shape since PR 6) on the q3 kernel workload. "solo" is one
+// request at a time on a pool of 4 workers — comparable against
+// BenchmarkKernelQ3/t=4's per-request engine to bound the pool's overhead.
+// "shared8" runs 8 concurrent requests on that same 4-worker pool under
+// weighted fair scheduling; "perreq8" runs the same 8 requests the
+// pre-pool way, each spawning its own 4-worker engine (8x oversubscribed
+// goroutines contending for the same cores). One op completes all 8
+// requests, so the shared8-vs-perreq8 ns/op ratio is the aggregate
+// throughput ratio; emb/s reports it directly.
+func BenchmarkSharedPoolQ3(b *testing.B) {
+	h, q := kernelWorkload()
+	p, err := core.NewPlan(q, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const workers = 4
+	const clients = 8
+	run8 := func(b *testing.B, one func() uint64) {
+		var total uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			embs := make([]uint64, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					embs[c] = one()
+				}(c)
+			}
+			wg.Wait()
+			for _, e := range embs {
+				total += e
+			}
+		}
+		b.StopTimer()
+		if total == 0 {
+			b.Fatal("kernel workload found nothing")
+		}
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "emb/s")
+		b.ReportMetric(float64(total)/float64(b.N)/clients, "embeddings")
+	}
+	b.Run("solo", func(b *testing.B) {
+		pool := engine.NewPool(workers)
+		defer pool.Close()
+		var emb uint64
+		b.ReportAllocs()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			emb = pool.Submit(p, engine.Options{Workers: workers}).Embeddings
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		if emb == 0 {
+			b.Fatal("kernel workload found nothing")
+		}
+		allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+		b.ReportMetric(allocs/float64(emb), "allocs/emb")
+		b.ReportMetric(float64(emb), "embeddings")
+	})
+	b.Run("shared8", func(b *testing.B) {
+		pool := engine.NewPool(workers)
+		defer pool.Close()
+		run8(b, func() uint64 {
+			return pool.Submit(p, engine.Options{Workers: workers}).Embeddings
+		})
+	})
+	b.Run("perreq8", func(b *testing.B) {
+		run8(b, func() uint64 {
+			return engine.Run(p, engine.Options{Workers: workers}).Embeddings
+		})
+	})
+}
+
 // BenchmarkOnlineIngest measures the online-update subsystem on the q3
 // workload graph. "ingest100" is the amortised unit hgserve pays per bulk
 // ingest request: a 100-edge insert batch plus one snapshot publication

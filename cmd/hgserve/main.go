@@ -6,13 +6,22 @@
 // Usage:
 //
 //	hgserve -addr :8080 [-plan-cache 256] [-workers 0] [-timeout 1m]
-//	        [-compact-threshold 10000] name=path.hg [name2=path2.hg ...]
+//	        [-compact-threshold 10000] [-admission] [-tenant-quota 1000000]
+//	        name=path.hg [name2=path2.hg ...]
 //
 // Each positional argument registers one data hypergraph (text or binary
 // .hg, sniffed) under the given name. Registered graphs are live: new
 // hyperedges stream in over POST /graphs/{name}/edges without a restart,
 // and the delta folds into a fresh index in the background once it reaches
-// -compact-threshold edges (see docs/OPERATIONS.md). Example session:
+// -compact-threshold edges (see docs/OPERATIONS.md).
+//
+// All matches run on one shared worker pool of -workers goroutines under
+// weighted fair scheduling; a request's "workers" field caps its share,
+// it no longer spawns threads. With -admission, expensive queries (planner
+// cost estimate at or above -cheap-threshold) must fit their tenant's
+// -tenant-quota of in-flight cost or receive 429 with a retry-after;
+// tenants are identified by the X-API-Key or Authorization header. GET
+// /stats reports the pool and admission counters. Example session:
 //
 //	hgserve fig1=testdata/fig1.hg &
 //	curl -s localhost:8080/graphs
@@ -42,11 +51,17 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("plan-cache", 256, "plan cache capacity in plans (0 disables)")
-		workers   = flag.Int("workers", 0, "default engine workers per request (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "shared morsel-pool size serving all requests (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", time.Minute, "default per-request engine timeout")
 		maxTime   = flag.Duration("max-timeout", 10*time.Minute, "upper bound on client-requested timeouts")
 		compactAt = flag.Int("compact-threshold", 10000,
 			"background-compact a live graph once its uncompacted delta reaches this many edges (0 = manual compaction only)")
+		admission = flag.Bool("admission", false,
+			"enable cost-based admission control: expensive queries acquire planner-cost tokens from their tenant's quota, over-quota requests get 429")
+		tenantQuota = flag.Uint64("tenant-quota", 0,
+			"per-tenant in-flight cost budget for -admission (0 = default 1M; tenant = X-API-Key/Authorization header, global otherwise)")
+		cheapCost = flag.Uint64("cheap-threshold", 0,
+			"planner-cost estimate below which requests bypass -admission (0 = default 10k)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -77,8 +92,13 @@ func main() {
 		PlanCacheSize:    *cacheSize,
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTime,
-		DefaultWorkers:   *workers,
+		Workers:          *workers,
 		CompactThreshold: *compactAt,
+		Admission: server.AdmissionConfig{
+			Enabled:        *admission,
+			TenantQuota:    *tenantQuota,
+			CheapThreshold: *cheapCost,
+		},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -101,5 +121,7 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("hgserve: shutdown: %v", err)
 	}
-	srv.WaitCompactions()
+	// Waits for background compactions, then drains and joins the shared
+	// worker pool (in-flight engine runs follow their contexts down).
+	srv.Close()
 }

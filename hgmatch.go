@@ -191,6 +191,14 @@ func (p *Plan) Explain() string { return dataflow.FromPlan(p.core).Explain() }
 // hyperedge signature has no data partition).
 func (p *Plan) Empty() bool { return p.core.Empty }
 
+// EstimateCost returns the planner's unitless work estimate for the plan:
+// the expected number of candidate expansions, derived from the same
+// delta-aware signature-table cardinalities the matching order is chosen
+// by. The scale is monotone in real work, not calibrated to any unit;
+// admission control (cmd/hgserve's -admission) budgets tenants against
+// it. Saturates at 2^62; provably empty plans cost 0.
+func (p *Plan) EstimateCost() uint64 { return p.core.EstimateCost() }
+
 // Result reports a match run.
 type Result struct {
 	// Embeddings is the number of subhypergraph embeddings found.
@@ -233,6 +241,11 @@ func WithoutWorkStealing() Option { return func(o *engine.Options) { o.DisableSt
 // mutex-guarded steal-half deques. Results are identical; only the
 // scheduling constants differ.
 func WithChaseLevDeques() Option { return func(o *engine.Options) { o.StealOne = true } }
+
+// WithWeight sets the request's fair-share weight on a shared Pool: a
+// weight-2 request receives twice the morsel slots of a weight-1 request
+// while both are runnable. Values below 1 mean 1. Plan.Run ignores it.
+func WithWeight(n int) Option { return func(o *engine.Options) { o.Weight = n } }
 
 // WithLimit stops the run after n embeddings.
 func WithLimit(n uint64) Option { return func(o *engine.Options) { o.Limit = n } }
@@ -286,7 +299,10 @@ func (p *Plan) Run(opts ...Option) Result {
 	for _, o := range opts {
 		o(&eo)
 	}
-	r := engine.Run(p.core, eo)
+	return wrapResult(engine.Run(p.core, eo))
+}
+
+func wrapResult(r engine.Result) Result {
 	return Result{
 		Embeddings:    r.Embeddings,
 		Candidates:    r.Counters.Candidates,
@@ -299,6 +315,50 @@ func (p *Plan) Run(opts ...Option) Result {
 		Groups:        r.Groups,
 	}
 }
+
+// Pool is a process-wide worker set shared by all requests submitted to
+// it: the multi-tenant form of the parallel engine. Where Plan.Run spawns
+// workers per call, a Pool keeps them resident and divides morsel slots
+// across concurrent Run calls by weighted fair scheduling, so one
+// pathological query cannot starve the rest. Within a request execution
+// is identical to Plan.Run — same results, same operators — and worker
+// scratch memory is reused across requests. A serving layer should create
+// one Pool per process (see cmd/hgserve's -workers flag).
+type Pool struct {
+	p *engine.Pool
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's scheduler counters.
+type PoolStats = engine.PoolStats
+
+// NewPool starts a shared worker pool of the given size (0 or negative
+// means one). Close it when done.
+func NewPool(workers int) *Pool {
+	return &Pool{p: engine.NewPool(workers)}
+}
+
+// Run executes the plan on the shared pool, blocking until the result is
+// complete. WithWorkers caps how many pool workers serve this request at
+// once; WithWeight sets its fair-share weight. Worker indexes seen by
+// WithWorkerCallback range over [0, Workers()) — the pool's size, not the
+// request's cap.
+func (pl *Pool) Run(p *Plan, opts ...Option) Result {
+	var eo engine.Options
+	for _, o := range opts {
+		o(&eo)
+	}
+	return wrapResult(pl.p.Submit(p.core, eo))
+}
+
+// Workers returns the pool's worker count.
+func (pl *Pool) Workers() int { return pl.p.Workers() }
+
+// Stats returns a snapshot of the pool's scheduler counters.
+func (pl *Pool) Stats() PoolStats { return pl.p.Stats() }
+
+// Close stops the pool's workers after draining in-flight requests; Run
+// calls after Close fall back to per-request workers.
+func (pl *Pool) Close() { pl.p.Close() }
 
 // Match compiles and runs in one call: it finds all subhypergraph
 // embeddings of query in data.
@@ -369,4 +429,4 @@ func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
 var ErrNoDicts = hgio.ErrNoDicts
 
 // Version identifies this reproduction release.
-const Version = "1.5.0"
+const Version = "1.6.0"

@@ -280,6 +280,48 @@ func (p *Plan) TaskBytes() int {
 	return 24 + 4*len(p.Order)
 }
 
+// MaxCost is the saturation value of EstimateCost: estimates at or above
+// it mean "effectively unbounded" and compare equal.
+const MaxCost = uint64(1) << 62
+
+// EstimateCost returns a unitless estimate of the work to execute the
+// plan: the expected number of candidate expansions Σ_i Π_{j≤i} b_j,
+// where b_0 is the start partition's cardinality and b_i approximates the
+// branching factor of step i by the average posting-list length of its
+// signature table (total posting entries Len·arity spread over its
+// posting vertices). The tables are the same delta-aware partitions the
+// planner orders by, so estimates track online ingestion without a
+// recompile. Admission control compares these against per-tenant budgets;
+// the absolute scale only needs to be monotone in real work, not
+// calibrated. Saturates at MaxCost; provably empty plans cost 0.
+func (p *Plan) EstimateCost() uint64 {
+	if p.Empty || p.startPart == nil {
+		return 0
+	}
+	prefix := float64(p.startPart.Len())
+	cost := prefix
+	for i := 1; i < len(p.steps); i++ {
+		st := &p.steps[i]
+		if st.part == nil {
+			return 0
+		}
+		b := 1.0
+		if nv := st.part.NumPostingVertices(); nv > 0 {
+			b = float64(st.part.Len()) * float64(st.arity) / float64(nv)
+		}
+		if b < 1 {
+			// A branching factor below one still costs the probe itself.
+			b = 1
+		}
+		prefix *= b
+		cost += prefix
+		if cost >= float64(MaxCost) {
+			return MaxCost
+		}
+	}
+	return uint64(cost)
+}
+
 // StepSignature exposes S(ϕ[i]) for diagnostics.
 func (p *Plan) StepSignature(i int) hypergraph.Signature {
 	return p.steps[i].sig

@@ -56,14 +56,14 @@ func runBFS(p *core.Plan, opts Options) Result {
 
 	// Sink the final level (complete embeddings). The sharded sink needs a
 	// workerState even on this single-threaded tail; its local count and
-	// aggregation map are merged by finish.
+	// aggregation map are merged by detach.
 	w0 := &workerState{id: 0, st: st, ws: &res.Workers[0]}
 	for _, m := range level {
 		if len(m) == nq {
 			st.sink(m, w0)
 		}
 	}
-	w0.finish()
+	w0.detach()
 	res.Embeddings = st.count.Load()
 	res.Counters = st.mergedCounters
 	res.Counters.Valid += uint64(len(p.InitialCandidates()))

@@ -114,6 +114,10 @@ type Options struct {
 	// group (dataflow AGGREGATE operator). Groups are accumulated in
 	// per-worker maps merged at run end and returned in Result.Groups.
 	Aggregate dataflow.KeyFunc
+	// Weight is the request's fair-share weight on a shared Pool: a
+	// request of weight 2 receives twice the morsel slots of a weight-1
+	// request while both are runnable. 0 means 1. Solo Run ignores it.
+	Weight int
 }
 
 // WorkerStats reports one worker's contribution; Exp-6 (Fig. 12) plots the
@@ -144,6 +148,12 @@ type Result struct {
 	Elapsed       time.Duration
 	TimedOut      bool
 	Groups        map[string]uint64 // AGGREGATE output (nil without aggregation)
+	// LeakedBlocks is the number of embedding blocks still accounted live
+	// when the run finished. A leak-free engine always reports 0 — on every
+	// path, including cancellation and limit trims, each acquired block is
+	// released back to a worker free list before the run's last task
+	// retires. Exposed so leak-detector tests can assert the invariant.
+	LeakedBlocks int64
 }
 
 // TotalTasks sums tasks executed across workers.
@@ -190,7 +200,9 @@ func Count(p *core.Plan, workers int) uint64 {
 	return Run(p, Options{Workers: workers}).Embeddings
 }
 
-// run state shared by all workers of one task-scheduler execution.
+// run state shared by all workers of one task-scheduler execution — one
+// request's state, whether served by its own worker set (Run) or by the
+// shared pool (Pool.Submit).
 type runState struct {
 	plan  *core.Plan
 	opts  Options
@@ -198,9 +210,10 @@ type runState struct {
 	first []hypergraph.EdgeID
 
 	deques     []taskQueue
-	pending    atomic.Int64 // live tasks (queued or executing)
-	liveBlocks atomic.Int64 // embedding blocks alive (queued, executing, filling)
-	peak       atomic.Int64 // high-water mark of liveBlocks
+	stats      []WorkerStats // per-worker-slot stats; len == len(deques)
+	pending    atomic.Int64  // live tasks (queued or executing)
+	liveBlocks atomic.Int64  // embedding blocks alive (queued, executing, filling)
+	peak       atomic.Int64  // high-water mark of liveBlocks
 	stopped    atomic.Bool
 	count      atomic.Uint64
 
@@ -218,24 +231,34 @@ type runState struct {
 
 // workerState is one worker's private execution state: scratch areas, the
 // block free list, and the sharded sink accumulators (local embedding
-// count, aggregation map) that are merged into runState once at worker
-// exit — the steady-state sink path touches no shared cache line.
+// count, aggregation map) that are merged into runState at detach — the
+// steady-state sink path touches no shared cache line.
+//
+// In solo Run mode a workerState lives for exactly one request. On a
+// shared Pool the state is owned by a long-lived pool worker and attached
+// to one request at a time (attach/detach): the scratch areas, block free
+// list and emit buffer persist across requests — the allocation-free
+// steady state now amortises across the whole process, not one run —
+// while the request-scoped accumulators are flushed and cleared on every
+// detach.
 type workerState struct {
 	id int
-	st *runState
-	ws *WorkerStats
-	my taskQueue
+	st *runState    // current request; re-pointed by attach on a pool
+	ws *WorkerStats // &st.stats[id]
+	my taskQueue    // st.deques[id]
 
 	// One Scratch per matching-order depth: inline block expansion
 	// re-enters Expand for depth d+1 from inside depth d's emit callback,
 	// and a Scratch must never be shared by two live Expand calls.
+	// Scratches self-reset per Expand, so one set serves any sequence of
+	// plans and data graphs.
 	scs     []*core.Scratch
 	ct      core.Counters
 	emitBuf []hypergraph.EdgeID
 	free    []*block // recycled blocks; the allocation-free steady state
 
-	localCount uint64            // embeddings sunk (no-limit path); flushed at exit
-	groups     map[string]uint64 // per-worker AGGREGATE map; merged at exit
+	localCount uint64            // embeddings sunk (no-limit path); flushed at detach
+	groups     map[string]uint64 // per-worker AGGREGATE map; merged at detach
 
 	rowsToCancelCheck int
 
@@ -244,13 +267,77 @@ type workerState struct {
 	busyTasks int
 }
 
-func runTasks(p *core.Plan, opts Options) Result {
+// attach points the worker at one request's shared state and sizes the
+// plan-shaped buffers. The worker must be detached (or fresh).
+func (w *workerState) attach(st *runState) {
+	w.st = st
+	w.ws = &st.stats[w.id]
+	w.my = st.deques[w.id]
+	if n := st.nq; len(w.scs) < n {
+		w.scs = append(w.scs, make([]*core.Scratch, n-len(w.scs))...)
+	}
+	if cap(w.emitBuf) < st.nq {
+		w.emitBuf = make([]hypergraph.EdgeID, st.nq)
+	}
+	w.emitBuf = w.emitBuf[:st.nq]
+	w.rowsToCancelCheck = 0
+}
+
+// detach flushes the worker's request-scoped accumulators into the request
+// and drops the references: the batched embedding count (one atomic add
+// per attachment on the no-limit path), expansion counters and the
+// per-worker aggregation map. Merges are skipped when empty so a late
+// drive-by attachment (a pool worker visiting an already-finished request)
+// writes nothing to state the submitter may already be reading.
+func (w *workerState) detach() {
+	st := w.st
+	if w.localCount > 0 {
+		st.count.Add(w.localCount)
+		w.localCount = 0
+	}
+	if w.ct != (core.Counters{}) || len(w.groups) > 0 {
+		st.mergeMu.Lock()
+		st.mergedCounters.Add(w.ct)
+		for k, v := range w.groups {
+			st.groups[k] += v
+		}
+		st.mergeMu.Unlock()
+		w.ct = core.Counters{}
+		clear(w.groups)
+	}
+	w.st, w.ws, w.my = nil, nil, nil
+}
+
+// runOne executes one popped task with stop handling and stats accounting
+// (the body both the solo worker loop and the pool quantum loop share).
+func (w *workerState) runOne(t task) {
+	st := w.st
+	if st.stopped.Load() || (st.hasCancel && st.hitDeadline()) {
+		st.stopped.Store(true)
+		st.pending.Add(-1)
+		w.discard(t)
+		return
+	}
+	w.openBusy()
+	st.execute(t, w)
+	w.ws.Tasks++
+	st.pending.Add(-1)
+	if w.busyTasks++; w.busyTasks >= busyWindow {
+		w.closeBusy()
+	}
+}
+
+// newRunState builds one request's execution state for a worker-slot count
+// of slots: deques, stats, deadline/cancel wiring and the static TSCAN
+// split of the start partition across slots.
+func newRunState(p *core.Plan, opts Options, slots int) *runState {
 	st := &runState{
 		plan:   p,
 		opts:   opts,
 		nq:     p.NumSteps(),
 		first:  p.InitialCandidates(),
-		deques: make([]taskQueue, opts.Workers),
+		deques: make([]taskQueue, slots),
+		stats:  make([]WorkerStats, slots),
 	}
 	if opts.Timeout > 0 {
 		st.deadline = time.Now().Add(opts.Timeout)
@@ -270,10 +357,10 @@ func runTasks(p *core.Plan, opts Options) Result {
 	}
 
 	// TSCAN: split the start partition's edge range statically across
-	// workers (the paper's coarse-grained initial assignment); dynamic
-	// stealing refines it at task granularity.
+	// worker slots (the paper's coarse-grained initial assignment);
+	// dynamic stealing refines it at task granularity.
 	n := uint32(len(st.first))
-	w := uint32(opts.Workers)
+	w := uint32(slots)
 	for i := uint32(0); i < w; i++ {
 		lo := i * n / w
 		hi := (i + 1) * n / w
@@ -282,27 +369,35 @@ func runTasks(p *core.Plan, opts Options) Result {
 			st.deques[i].push(task{lo: lo, hi: hi})
 		}
 	}
+	return st
+}
 
-	stats := make([]WorkerStats, opts.Workers)
+// result assembles the request's Result once all workers have detached.
+func (st *runState) result() Result {
+	return Result{
+		Embeddings:    st.count.Load(),
+		Counters:      st.mergedCounters,
+		Workers:       st.stats,
+		PeakTasks:     st.peak.Load(),
+		PeakTaskBytes: st.peak.Load() * int64(TaskBlockBytes(st.plan)),
+		TimedOut:      st.stopped.Load() && st.hitDeadline(),
+		Groups:        st.groups,
+		LeakedBlocks:  st.liveBlocks.Load(),
+	}
+}
+
+func runTasks(p *core.Plan, opts Options) Result {
+	st := newRunState(p, opts, opts.Workers)
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Workers; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			st.worker(id, &stats[id])
+			st.worker(id)
 		}(i)
 	}
 	wg.Wait()
-
-	return Result{
-		Embeddings:    st.count.Load(),
-		Counters:      st.mergedCounters,
-		Workers:       stats,
-		PeakTasks:     st.peak.Load(),
-		PeakTaskBytes: st.peak.Load() * int64(TaskBlockBytes(p)),
-		TimedOut:      st.stopped.Load() && st.hitDeadline(),
-		Groups:        st.groups,
-	}
+	return st.result()
 }
 
 func (st *runState) hitDeadline() bool {
@@ -319,20 +414,14 @@ func (st *runState) hitDeadline() bool {
 	return false
 }
 
-func (st *runState) worker(id int, ws *WorkerStats) {
-	w := &workerState{
-		id:      id,
-		st:      st,
-		ws:      ws,
-		my:      st.deques[id],
-		scs:     make([]*core.Scratch, st.nq),
-		emitBuf: make([]hypergraph.EdgeID, st.nq),
-	}
+func (st *runState) worker(id int) {
+	w := &workerState{id: id}
+	w.attach(st)
 	rng := rand.New(rand.NewSource(int64(id)*0x9E3779B9 + 1))
 
 	defer func() {
 		w.closeBusy()
-		w.finish()
+		w.detach()
 	}()
 
 	idleRounds := 0
@@ -355,27 +444,13 @@ func (st *runState) worker(id int, ws *WorkerStats) {
 				continue
 			}
 			idleRounds = 0
-			ws.Steals++
-			ws.Stolen += uint64(len(stolen))
+			w.ws.Steals++
+			w.ws.Stolen += uint64(len(stolen))
 			w.my.pushN(stolen)
 			continue
 		}
 		idleRounds = 0
-
-		if st.stopped.Load() || (st.hasCancel && st.hitDeadline()) {
-			st.stopped.Store(true)
-			st.pending.Add(-1)
-			w.discard(t)
-			continue
-		}
-
-		w.openBusy()
-		st.execute(t, w)
-		ws.Tasks++
-		st.pending.Add(-1)
-		if w.busyTasks++; w.busyTasks >= busyWindow {
-			w.closeBusy()
-		}
+		w.runOne(t)
 	}
 }
 
@@ -611,22 +686,6 @@ func (st *runState) notePeak(cur int64) {
 			return
 		}
 	}
-}
-
-// finish merges the worker's sharded sink state into the run: the batched
-// embedding count (one atomic add per worker per run on the no-limit path)
-// and the per-worker aggregation map and expansion counters.
-func (w *workerState) finish() {
-	st := w.st
-	if w.localCount > 0 {
-		st.count.Add(w.localCount)
-	}
-	st.mergeMu.Lock()
-	st.mergedCounters.Add(w.ct)
-	for k, v := range w.groups {
-		st.groups[k] += v
-	}
-	st.mergeMu.Unlock()
 }
 
 // sink consumes one complete embedding: TSINK (paper §VI-A), plus the

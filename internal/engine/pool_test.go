@@ -1,0 +1,263 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hgmatch/internal/core"
+	"hgmatch/internal/engine"
+	"hgmatch/internal/hypergraph"
+)
+
+// TestPoolMatchesSolo: a single request on the shared pool must produce
+// exactly the solo engine's result — embeddings, expansion counters,
+// groups — and leak no blocks.
+func TestPoolMatchesSolo(t *testing.T) {
+	p := morselWorkload(t, 21, 3)
+	solo := engine.Run(p, engine.Options{Workers: 2})
+
+	pool := engine.NewPool(2)
+	defer pool.Close()
+	res := pool.Submit(p, engine.Options{})
+	if res.Embeddings != solo.Embeddings {
+		t.Errorf("pool found %d, solo %d", res.Embeddings, solo.Embeddings)
+	}
+	if res.Counters != solo.Counters {
+		t.Errorf("pool counters %+v, solo %+v", res.Counters, solo.Counters)
+	}
+	if res.LeakedBlocks != 0 {
+		t.Errorf("pool leaked %d blocks", res.LeakedBlocks)
+	}
+	st := pool.Stats()
+	if st.Submitted != 1 || st.Completed != 1 || st.Active != 0 {
+		t.Errorf("pool stats after one request: %+v", st)
+	}
+}
+
+// TestPoolConcurrentMixedRequests is the concurrency battery's engine
+// half: many concurrent requests with mixed cheap/expensive plans on one
+// shared pool, every per-request result identical to its solo run, no
+// block leaks anywhere. Run under -race this exercises the attach/detach
+// and completion-detection paths hard.
+func TestPoolConcurrentMixedRequests(t *testing.T) {
+	type workload struct {
+		plan *core.Plan
+		want uint64
+	}
+	var ws []workload
+	for _, cfg := range []struct {
+		seed int64
+		nq   int
+	}{{21, 3}, {11, 4}, {5, 3}, {7, 2}, {9, 3}} {
+		p := morselWorkload(t, cfg.seed, cfg.nq)
+		ws = append(ws, workload{p, engine.Run(p, engine.Options{Workers: 1}).Embeddings})
+	}
+
+	pool := engine.NewPool(4)
+	defer pool.Close()
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(ws))
+	for r := 0; r < rounds; r++ {
+		for i, w := range ws {
+			wg.Add(1)
+			go func(r, i int, w workload) {
+				defer wg.Done()
+				opts := engine.Options{Weight: 1 + i%3, Workers: 1 + (r+i)%4}
+				res := pool.Submit(w.plan, opts)
+				if res.Embeddings != w.want {
+					errs <- fmt.Errorf("round %d workload %d: got %d want %d", r, i, res.Embeddings, w.want)
+				}
+				if res.LeakedBlocks != 0 {
+					errs <- fmt.Errorf("round %d workload %d: leaked %d blocks", r, i, res.LeakedBlocks)
+				}
+			}(r, i, w)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := pool.Stats()
+	if want := uint64(rounds * len(ws)); st.Submitted != want || st.Completed != want {
+		t.Errorf("pool stats: %+v, want %d submitted and completed", st, want)
+	}
+}
+
+// TestPoolCancelIsolation cancels one expensive request while cheap
+// requests flow through the same pool: the victims must complete with
+// correct results, the cancelled request must stop, and the pool must
+// keep serving afterwards — cancellation never stalls or leaks workers
+// belonging to other requests.
+func TestPoolCancelIsolation(t *testing.T) {
+	expensive := morselWorkload(t, 11, 4)
+	cheap := morselWorkload(t, 21, 3)
+	cheapWant := engine.Run(cheap, engine.Options{Workers: 1}).Embeddings
+
+	pool := engine.NewPool(4)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired sync.Once
+	done := make(chan engine.Result, 1)
+	go func() {
+		done <- pool.Submit(expensive, engine.Options{
+			Context: ctx,
+			OnEmbeddingWorker: func(worker int, m []hypergraph.EdgeID) {
+				fired.Do(cancel)
+			},
+		})
+	}()
+
+	// Cheap requests run concurrently with the doomed one and after it.
+	for i := 0; i < 6; i++ {
+		if res := pool.Submit(cheap, engine.Options{}); res.Embeddings != cheapWant {
+			t.Fatalf("victim request %d: got %d want %d", i, res.Embeddings, cheapWant)
+		}
+	}
+
+	select {
+	case res := <-done:
+		if res.LeakedBlocks != 0 {
+			t.Errorf("cancelled request leaked %d blocks", res.LeakedBlocks)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled request did not drain")
+	}
+
+	// The pool is still healthy after the cancellation.
+	if res := pool.Submit(cheap, engine.Options{}); res.Embeddings != cheapWant {
+		t.Errorf("post-cancel request: got %d want %d", res.Embeddings, cheapWant)
+	}
+}
+
+// TestPoolLimitAndAggregate: the dataflow extension operators keep their
+// semantics on the shared pool — an exact Limit with exactly Limit sharded
+// callback deliveries, and aggregation groups identical to solo.
+func TestPoolLimitAndAggregate(t *testing.T) {
+	p := morselWorkload(t, 21, 3)
+	full := engine.Run(p, engine.Options{Workers: 2})
+	if full.Embeddings < 1000 {
+		t.Skipf("workload too small: %d", full.Embeddings)
+	}
+
+	pool := engine.NewPool(4)
+	defer pool.Close()
+
+	for _, limit := range []uint64{3, 257, 999} {
+		var delivered atomic.Uint64
+		res := pool.Submit(p, engine.Options{
+			Limit: limit,
+			OnEmbeddingWorker: func(worker int, m []hypergraph.EdgeID) {
+				if worker < 0 || worker >= pool.Workers() {
+					panic("worker index out of pool range")
+				}
+				delivered.Add(1)
+			},
+		})
+		if res.Embeddings != limit || delivered.Load() != limit {
+			t.Errorf("limit=%d: counted %d delivered %d", limit, res.Embeddings, delivered.Load())
+		}
+		if res.LeakedBlocks != 0 {
+			t.Errorf("limit=%d: leaked %d blocks", limit, res.LeakedBlocks)
+		}
+	}
+
+	key := func(m []hypergraph.EdgeID) string {
+		if m[0]%2 == 0 {
+			return "even"
+		}
+		return "odd"
+	}
+	want := engine.Run(p, engine.Options{Workers: 2, Aggregate: key}).Groups
+	got := pool.Submit(p, engine.Options{Aggregate: key}).Groups
+	if len(got) != len(want) {
+		t.Fatalf("groups: got %v want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("group %q: got %d want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestPoolFallbacks: configurations that depend on owning their worker set
+// (BFS, NOSTL) and Submits after Close fall back to solo Run with
+// identical results.
+func TestPoolFallbacks(t *testing.T) {
+	p := morselWorkload(t, 5, 3)
+	want := engine.Run(p, engine.Options{Workers: 1}).Embeddings
+
+	pool := engine.NewPool(2)
+	if got := pool.Submit(p, engine.Options{Scheduler: engine.SchedulerBFS}).Embeddings; got != want {
+		t.Errorf("BFS via pool: got %d want %d", got, want)
+	}
+	if got := pool.Submit(p, engine.Options{DisableStealing: true}).Embeddings; got != want {
+		t.Errorf("NOSTL via pool: got %d want %d", got, want)
+	}
+	pool.Close()
+	if got := pool.Submit(p, engine.Options{}).Embeddings; got != want {
+		t.Errorf("closed-pool fallback: got %d want %d", got, want)
+	}
+}
+
+// TestLeakDetectorRandomizedCancel is the block-leak audit's regression
+// test: across many randomized cancel points (cancel after k embeddings,
+// k drawn per run) the engine must report blocks out == blocks in —
+// LeakedBlocks exactly zero — on solo runs and pool submits alike. A
+// single unreleased block on any cancel path fails this immediately.
+func TestLeakDetectorRandomizedCancel(t *testing.T) {
+	p := morselWorkload(t, 11, 4)
+	full := engine.Run(p, engine.Options{Workers: 2})
+	if full.Embeddings < 10_000 {
+		t.Skipf("workload too small: %d", full.Embeddings)
+	}
+
+	runs := 1000
+	if testing.Short() {
+		runs = 100
+	}
+	pool := engine.NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(99))
+
+	// Cancel points are drawn from a short prefix of the run: the paths
+	// under test (mid-block stop, discard of queued tasks, free-list
+	// return) all trigger within the first few thousand embeddings, and
+	// early cancels keep 1000 iterations affordable under -race.
+	maxCancel := int64(4096)
+	if n := int64(full.Embeddings); n < maxCancel {
+		maxCancel = n
+	}
+	for i := 0; i < runs; i++ {
+		cancelAt := 1 + uint64(rng.Int63n(maxCancel))
+		ctx, cancel := context.WithCancel(context.Background())
+		var seen atomic.Uint64
+		opts := engine.Options{
+			Workers: 1 + i%4,
+			Context: ctx,
+			OnEmbeddingWorker: func(worker int, m []hypergraph.EdgeID) {
+				if seen.Add(1) == cancelAt {
+					cancel()
+				}
+			},
+		}
+		var res engine.Result
+		if i%2 == 0 {
+			res = engine.Run(p, opts)
+		} else {
+			res = pool.Submit(p, opts)
+		}
+		cancel()
+		if res.LeakedBlocks != 0 {
+			t.Fatalf("run %d (cancel@%d): leaked %d blocks", i, cancelAt, res.LeakedBlocks)
+		}
+	}
+}

@@ -180,9 +180,47 @@ type CompactSummary struct {
 	ElapsedUs   int64  `json:"elapsed_us"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx hgserve response.
+// ErrorResponse is the JSON body of every non-2xx hgserve response. The
+// retry fields are set only on 429s from the admission controller: when
+// the tenant's cost quota is exhausted, RetryAfterMs hints when to retry
+// (the same value travels in the Retry-After header, in seconds) and
+// EstimatedCost reports the planner estimate the request was priced at.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error         string `json:"error"`
+	RetryAfterMs  int64  `json:"retry_after_ms,omitempty"`
+	EstimatedCost uint64 `json:"estimated_cost,omitempty"`
+}
+
+// SchedulerStats is the body of GET /stats: the shared morsel pool's
+// scheduler counters and the admission controller's accounting.
+type SchedulerStats struct {
+	// PoolWorkers is the process-wide worker count (-workers); every
+	// in-flight request shares these workers under weighted fair
+	// scheduling.
+	PoolWorkers int `json:"pool_workers"`
+	// ActiveRequests counts requests currently registered with the pool.
+	ActiveRequests int `json:"active_requests"`
+	// Submitted/Completed/Tasks count requests accepted, requests fully
+	// drained, and morsel tasks executed since startup.
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Tasks     uint64 `json:"tasks"`
+
+	// AdmissionEnabled mirrors -admission; the remaining fields are zero
+	// when it is off.
+	AdmissionEnabled bool `json:"admission_enabled"`
+	// CheapThreshold is the planner-cost bound under which requests skip
+	// admission entirely; TenantQuota is each tenant's in-flight cost
+	// budget.
+	CheapThreshold uint64 `json:"cheap_threshold,omitempty"`
+	TenantQuota    uint64 `json:"tenant_quota,omitempty"`
+	// Bypassed counts cheap requests that skipped the controller, Admitted
+	// counts expensive requests that acquired cost tokens, Rejected counts
+	// 429s. ActiveTenants is the number of tenants holding tokens now.
+	Bypassed      uint64 `json:"bypassed"`
+	Admitted      uint64 `json:"admitted"`
+	Rejected      uint64 `json:"rejected"`
+	ActiveTenants int    `json:"active_tenants"`
 }
 
 // HealthResponse is the body of GET /healthz.

@@ -1,0 +1,144 @@
+// Cost-based admission control for the match endpoints. Every /match and
+// /count request is priced by the planner's cardinality estimate
+// (Plan.EstimateCost, delta-aware since the tables it reads merge online
+// ingests); cheap requests bypass the controller entirely, expensive ones
+// must acquire that many cost tokens from their tenant's in-flight quota
+// before the engine runs, and requests that would overdraw the quota are
+// rejected with 429 and a structured retry-after instead of queuing —
+// backpressure belongs at the edge, not in worker queues the whole
+// process shares.
+package server
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission defaults; see docs/OPERATIONS.md for sizing guidance.
+const (
+	// defaultCheapThreshold is the planner-cost bound under which requests
+	// skip admission: roughly a query whose expansion count is small enough
+	// that running it costs less than making it wait.
+	defaultCheapThreshold = 10_000
+	// defaultTenantQuota is each tenant's in-flight cost budget.
+	defaultTenantQuota = 1_000_000
+	// defaultRetryAfter is the retry hint attached to 429s.
+	defaultRetryAfter = time.Second
+)
+
+// AdmissionConfig tunes the cost-based admission controller.
+type AdmissionConfig struct {
+	// Enabled turns the controller on; when false every request runs
+	// immediately (the pre-admission behaviour).
+	Enabled bool
+	// CheapThreshold is the planner-cost estimate below which a request
+	// bypasses admission (0 = default 10k).
+	CheapThreshold uint64
+	// TenantQuota is the total in-flight cost a tenant may hold (0 =
+	// default 1M). A single request pricier than the whole quota is still
+	// admitted when the tenant is otherwise idle — it is charged the full
+	// quota rather than rejected forever.
+	TenantQuota uint64
+	// RetryAfter is the hint attached to 429 responses (0 = 1s).
+	RetryAfter time.Duration
+}
+
+func (c *AdmissionConfig) fillDefaults() {
+	if c.CheapThreshold == 0 {
+		c.CheapThreshold = defaultCheapThreshold
+	}
+	if c.TenantQuota == 0 {
+		c.TenantQuota = defaultTenantQuota
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = defaultRetryAfter
+	}
+}
+
+// admission is the controller: per-tenant in-flight cost accounting under
+// one mutex (the map is touched twice per expensive request, never per
+// embedding or per task).
+type admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	inflight map[string]uint64 // tenant -> cost tokens held
+
+	bypassed atomic.Uint64
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	cfg.fillDefaults()
+	return &admission{cfg: cfg, inflight: make(map[string]uint64)}
+}
+
+// tenantKey resolves the requesting tenant: the X-API-Key header, else the
+// Authorization header, else the global tenant "". Everything a deployment
+// uses as an API key therefore gets its own quota without configuration;
+// anonymous traffic shares one.
+func tenantKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if k := r.Header.Get("Authorization"); k != "" {
+		// Strip the scheme so "Bearer X" and "bearer X" share a bucket.
+		if i := strings.IndexByte(k, ' '); i >= 0 {
+			k = strings.TrimSpace(k[i+1:])
+		}
+		return k
+	}
+	return ""
+}
+
+// acquire admits a request of the given estimated cost for a tenant.
+// Returns the release function to defer (nil-safe semantics are the
+// caller's: release is non-nil exactly when ok) and whether the request
+// may run. Cheap requests are admitted without touching the tenant map.
+// The charge is min(cost, quota): a request pricier than the whole quota
+// runs when the tenant is idle, holding the full quota while it does.
+func (a *admission) acquire(tenant string, cost uint64) (release func(), ok bool) {
+	if !a.cfg.Enabled || cost < a.cfg.CheapThreshold {
+		a.bypassed.Add(1)
+		return func() {}, true
+	}
+	charge := cost
+	if charge > a.cfg.TenantQuota {
+		charge = a.cfg.TenantQuota
+	}
+	a.mu.Lock()
+	held := a.inflight[tenant]
+	if held+charge > a.cfg.TenantQuota {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return nil, false
+	}
+	a.inflight[tenant] = held + charge
+	a.mu.Unlock()
+	a.admitted.Add(1)
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			if rest := a.inflight[tenant] - charge; rest > 0 {
+				a.inflight[tenant] = rest
+			} else {
+				delete(a.inflight, tenant)
+			}
+			a.mu.Unlock()
+		})
+	}, true
+}
+
+// activeTenants counts tenants currently holding cost tokens.
+func (a *admission) activeTenants() int {
+	a.mu.Lock()
+	n := len(a.inflight)
+	a.mu.Unlock()
+	return n
+}

@@ -14,6 +14,8 @@
 //	POST /graphs/{name}/edges    NDJSON bulk ingest (IngestRecord lines:
 //	                             insert/delete/add_vertex) -> IngestSummary
 //	POST /graphs/{name}/compact  fold the graph's delta into a fresh base
+//	GET  /stats                  JSON scheduler stats: shared-pool counters
+//	                             and admission-control accounting
 //	GET  /healthz                liveness + plan-cache hit/miss counters
 //
 // Every registered graph is live: ingest goes through a DeltaBuffer whose
@@ -30,7 +32,13 @@
 // into per-worker NDJSON buffers (no global per-embedding lock, nothing
 // materialises server-side; lines from different workers interleave), and
 // every run is wired to the request context through hgmatch.WithContext so
-// a client disconnect stops enumeration mid-run.
+// a client disconnect stops enumeration mid-run. All matches execute on
+// one process-wide hgmatch.Pool (Config.Workers) under weighted fair
+// scheduling — concurrent requests share the worker set instead of
+// oversubscribing cores — and an optional cost-based admission controller
+// (Config.Admission) prices each request by its planner estimate against
+// a per-tenant quota, answering 429 with a structured retry-after when a
+// tenant would overdraw.
 package server
 
 import (
@@ -41,6 +49,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -86,6 +95,13 @@ type Config struct {
 	// POST /graphs/{name}/compact always works. See docs/OPERATIONS.md for
 	// sizing guidance.
 	CompactThreshold int
+	// Workers sizes the process-wide shared morsel pool every match runs
+	// on (default GOMAXPROCS). A request's workers field caps how many
+	// pool workers serve it at once; it no longer spawns goroutines.
+	Workers int
+	// Admission tunes the cost-based admission controller; the zero value
+	// leaves admission off (every request runs immediately).
+	Admission AdmissionConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -104,6 +120,9 @@ func (c *Config) fillDefaults() {
 	if c.MaxWorkers == 0 {
 		c.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Server is the hgserve HTTP service: a graph registry, a plan cache and
@@ -112,6 +131,8 @@ type Server struct {
 	cfg    Config
 	graphs *Registry
 	plans  *PlanCache
+	pool   *hgmatch.Pool // process-wide shared morsel pool
+	adm    *admission
 
 	compactWG sync.WaitGroup // in-flight background compactions
 	// compacting marks graphs with a background compaction in flight, so a
@@ -123,11 +144,28 @@ type Server struct {
 // New returns a Server over the given registry.
 func New(graphs *Registry, cfg Config) *Server {
 	cfg.fillDefaults()
-	s := &Server{cfg: cfg, graphs: graphs, plans: NewPlanCache(cfg.PlanCacheSize)}
+	s := &Server{
+		cfg:    cfg,
+		graphs: graphs,
+		plans:  NewPlanCache(cfg.PlanCacheSize),
+		pool:   hgmatch.NewPool(cfg.Workers),
+		adm:    newAdmission(cfg.Admission),
+	}
 	// Replacing a graph purges its cached plans; the version in the cache
 	// key already prevents stale serving, the purge frees the old graph.
 	graphs.setOnReplace(func(name string) { s.plans.DropPrefix(GraphPrefix(name)) })
 	return s
+}
+
+// Pool returns the server's shared morsel pool (benchmarks and shutdown
+// paths use it; handlers run every match through it).
+func (s *Server) Pool() *hgmatch.Pool { return s.pool }
+
+// Close waits for background compactions and drains the shared pool. The
+// server must not serve requests after Close.
+func (s *Server) Close() {
+	s.compactWG.Wait()
+	s.pool.Close()
 }
 
 // Graphs returns the server's graph registry.
@@ -146,6 +184,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /graphs/{name}/stats", s.handleGraphStats)
 	mux.HandleFunc("POST /graphs/{name}/edges", s.handleIngest)
 	mux.HandleFunc("POST /graphs/{name}/compact", s.handleCompact)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -289,6 +328,31 @@ func (s *Server) options(r *http.Request, req *hgio.MatchRequest) ([]hgmatch.Opt
 	}, workers
 }
 
+// admit prices the request at the plan's cost estimate and acquires
+// admission tokens from the requesting tenant's quota. On rejection it
+// writes the 429 itself — Retry-After header in seconds, structured
+// retry_after_ms and estimated_cost in the body — and returns ok=false.
+// The caller must defer the returned release on every exit path (success,
+// error, client cancel alike), which is what makes quota release on
+// cancel/error automatic.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, plan *hgmatch.Plan) (release func(), ok bool) {
+	cost := plan.EstimateCost()
+	release, ok = s.adm.acquire(tenantKey(r), cost)
+	if ok {
+		return release, true
+	}
+	retry := s.adm.cfg.RetryAfter
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.FormatInt(int64((retry+time.Second-1)/time.Second), 10))
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(hgio.ErrorResponse{
+		Error:         "tenant cost quota exhausted; retry later",
+		RetryAfterMs:  retry.Milliseconds(),
+		EstimatedCost: cost,
+	})
+	return nil, false
+}
+
 func summarise(res hgmatch.Result, plan *hgmatch.Plan, cached bool) hgio.MatchSummary {
 	return hgio.MatchSummary{
 		Done:       true,
@@ -322,20 +386,28 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writePlanError(w, req, err)
 		return
 	}
+	release, ok := s.admit(w, r, plan)
+	if !ok {
+		return
+	}
+	defer release()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriter(w)
 
-	opts, workers := s.options(r, req)
+	opts, _ := s.options(r, req)
 
 	type shard struct {
 		mu  sync.Mutex
 		buf bytes.Buffer
 		enc *json.Encoder
 	}
-	shards := make([]*shard, workers)
+	// Shards are sized to the whole pool, not the request's workers cap:
+	// on the shared pool any worker may serve this request, so callback
+	// worker indexes range over [0, pool.Workers()).
+	shards := make([]*shard, s.pool.Workers())
 	for i := range shards {
 		shards[i] = &shard{}
 		shards[i].enc = json.NewEncoder(&shards[i].buf)
@@ -391,7 +463,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		sh.mu.Unlock()
 	}))
 
-	res := plan.Run(opts...)
+	res := s.pool.Run(plan, opts...)
 	close(stopFlush)
 	<-flushDone
 	// The run and the flusher are over: no writers are in flight, so the
@@ -420,8 +492,13 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		writePlanError(w, req, err)
 		return
 	}
+	release, ok := s.admit(w, r, plan)
+	if !ok {
+		return
+	}
+	defer release()
 	opts, _ := s.options(r, req)
-	res := plan.Run(opts...)
+	res := s.pool.Run(plan, opts...)
 	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
 	writeJSON(w, summarise(res, plan, cached))
 }
@@ -451,6 +528,29 @@ func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, info)
+}
+
+// handleStats reports the shared scheduler's state: pool counters plus
+// the admission controller's accounting (GET /stats).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Stats()
+	out := hgio.SchedulerStats{
+		PoolWorkers:      ps.Workers,
+		ActiveRequests:   ps.Active,
+		Submitted:        ps.Submitted,
+		Completed:        ps.Completed,
+		Tasks:            ps.Tasks,
+		AdmissionEnabled: s.adm.cfg.Enabled,
+		Bypassed:         s.adm.bypassed.Load(),
+		Admitted:         s.adm.admitted.Load(),
+		Rejected:         s.adm.rejected.Load(),
+		ActiveTenants:    s.adm.activeTenants(),
+	}
+	if s.adm.cfg.Enabled {
+		out.CheapThreshold = s.adm.cfg.CheapThreshold
+		out.TenantQuota = s.adm.cfg.TenantQuota
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
