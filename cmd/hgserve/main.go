@@ -7,6 +7,8 @@
 //
 //	hgserve -addr :8080 [-plan-cache 256] [-workers 0] [-timeout 1m]
 //	        [-compact-threshold 10000] [-admission] [-tenant-quota 1000000]
+//	        [-wal-dir /var/lib/hgserve/wal] [-wal-sync batch]
+//	        [-drain-timeout 10s]
 //	        name=path.hg [name2=path2.hg ...]
 //
 // Each positional argument registers one data hypergraph (text or binary
@@ -14,6 +16,16 @@
 // hyperedges stream in over POST /graphs/{name}/edges without a restart,
 // and the delta folds into a fresh index in the background once it reaches
 // -compact-threshold edges (see docs/OPERATIONS.md).
+//
+// With -wal-dir set, ingest is crash-safe: every acked batch is journaled
+// to a per-graph write-ahead log under that directory before its snapshot
+// publishes, compaction doubles as an atomic checkpoint, and a restart
+// replays checkpoint + WAL so no acked write is lost. -wal-sync picks the
+// fsync policy (always / batch[:N[,dur]] / none; see docs/OPERATIONS.md
+// for the latency/safety tradeoff). On -wal-dir graphs the name=path.hg
+// file is only the first-boot seed; later boots recover the journaled
+// state. A graph whose log fails its integrity checks comes up read-only
+// with the bad segment quarantined — serving continues, writes get 503.
 //
 // All matches run on one shared worker pool of -workers goroutines under
 // weighted fair scheduling; a request's "workers" field caps its share,
@@ -44,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"hgmatch/internal/hgio"
 	"hgmatch/internal/server"
 )
 
@@ -62,6 +75,12 @@ func main() {
 			"per-tenant in-flight cost budget for -admission (0 = default 1M; tenant = X-API-Key/Authorization header, global otherwise)")
 		cheapCost = flag.Uint64("cheap-threshold", 0,
 			"planner-cost estimate below which requests bypass -admission (0 = default 10k)")
+		walDir = flag.String("wal-dir", "",
+			"root directory for per-graph write-ahead logs and checkpoints; empty disables durability (acked ingests live only in memory)")
+		walSync = flag.String("wal-sync", "batch",
+			"WAL fsync policy: always, batch[:N[,dur]] (group commit) or none")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
+			"how long shutdown waits for in-flight requests to drain before forcing connections closed")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -71,6 +90,16 @@ func main() {
 	}
 
 	reg := server.NewRegistry()
+	if *walDir != "" {
+		policy, err := hgio.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatalf("hgserve: -wal-sync: %v", err)
+		}
+		if err := reg.EnableDurability(server.DurabilityConfig{Dir: *walDir, Sync: policy}); err != nil {
+			log.Fatalf("hgserve: %v", err)
+		}
+		log.Printf("durability on: wal-dir=%s sync=%s", *walDir, policy)
+	}
 	for _, arg := range flag.Args() {
 		name, path, ok := strings.Cut(arg, "=")
 		if !ok || name == "" || path == "" {
@@ -82,6 +111,9 @@ func main() {
 		}
 		h, _ := reg.Get(name)
 		log.Printf("loaded %q: %v (%s)", name, h, time.Since(start).Round(time.Millisecond))
+		if info, ok := reg.Info(name); ok && info.ReadOnly {
+			log.Printf("WARNING: %q serving READ-ONLY: %s", name, info.ReadOnlyReason)
+		}
 	}
 
 	// The operator's "0" means off; Config reserves 0 for its default.
@@ -112,16 +144,31 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatalf("hgserve: %v", err)
+		// Even a failed listen must release the WALs and pool before
+		// exiting; log.Fatalf would skip both.
+		log.Printf("hgserve: %v", err)
+		srv.Close()
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Restore default signal handling: a second SIGINT/SIGTERM during the
+	// drain kills the process immediately instead of being swallowed.
+	stop()
+	log.Printf("shutting down (draining up to %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("hgserve: shutdown: %v", err)
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("hgserve: drain timeout elapsed, closing remaining connections")
+		} else {
+			log.Printf("hgserve: shutdown: %v", err)
+		}
+		// Past the drain budget: force remaining connections closed so
+		// srv.Close below cannot block behind a stuck client.
+		httpSrv.Close()
 	}
-	// Waits for background compactions, then drains and joins the shared
-	// worker pool (in-flight engine runs follow their contexts down).
+	// Waits for background compactions, flushes + closes every graph's
+	// WAL, then drains and joins the shared worker pool (in-flight engine
+	// runs follow their contexts down).
 	srv.Close()
 }

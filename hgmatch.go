@@ -429,4 +429,4 @@ func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
 var ErrNoDicts = hgio.ErrNoDicts
 
 // Version identifies this reproduction release.
-const Version = "1.6.0"
+const Version = "1.7.0"

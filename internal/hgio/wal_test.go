@@ -1,0 +1,600 @@
+package hgio_test
+
+// WAL unit tests, driven through the hgtest fault-injection filesystem so
+// every durability claim is exercised against simulated torn writes, bit
+// flips and fsync failures (crash-at-every-point stress lives in
+// internal/server's crash tests; this file pins the log's own contract).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hgmatch/internal/hgio"
+	"hgmatch/internal/hgtest"
+)
+
+func insRec(vs ...uint32) hgio.IngestRecord {
+	return hgio.IngestRecord{Op: "insert", Vertices: vs}
+}
+
+// collect returns an apply callback recording every replayed batch.
+func collect(got *[]hgio.WALBatch) func(*hgio.WALBatch) error {
+	return func(b *hgio.WALBatch) error {
+		cp := *b
+		cp.Records = append([]hgio.IngestRecord(nil), b.Records...)
+		*got = append(*got, cp)
+		return nil
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts hgio.WALOptions, apply func(*hgio.WALBatch) error) (*hgio.WAL, hgio.RecoveryReport) {
+	t.Helper()
+	w, rep, err := hgio.OpenWAL(dir, opts, apply)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v (report %+v)", err, rep)
+	}
+	return w, rep
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want hgio.SyncPolicy
+		ok   bool
+	}{
+		{"always", hgio.SyncPolicy{Mode: hgio.SyncAlways}, true},
+		{"none", hgio.SyncPolicy{Mode: hgio.SyncNone}, true},
+		{"batch", hgio.SyncPolicy{Mode: hgio.SyncBatch}, true},
+		{"batch:64", hgio.SyncPolicy{Mode: hgio.SyncBatch, MaxPending: 64}, true},
+		{"batch:5ms", hgio.SyncPolicy{Mode: hgio.SyncBatch, MaxDelay: 5 * time.Millisecond}, true},
+		{"batch:64,5ms", hgio.SyncPolicy{Mode: hgio.SyncBatch, MaxPending: 64, MaxDelay: 5 * time.Millisecond}, true},
+		{"batch(64,5ms)", hgio.SyncPolicy{Mode: hgio.SyncBatch, MaxPending: 64, MaxDelay: 5 * time.Millisecond}, true},
+		{"", hgio.SyncPolicy{}, false},
+		{"fsync", hgio.SyncPolicy{}, false},
+		{"batch:-1", hgio.SyncPolicy{}, false},
+		{"batch:oops", hgio.SyncPolicy{}, false},
+	}
+	for _, c := range cases {
+		got, err := hgio.ParseSyncPolicy(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseSyncPolicy(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseSyncPolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if c.ok {
+			// String() must round-trip through the parser.
+			back, err := hgio.ParseSyncPolicy(got.String())
+			if err != nil || back != got {
+				t.Errorf("round-trip %q -> %q -> %+v (%v)", c.in, got.String(), back, err)
+			}
+		}
+	}
+}
+
+// TestWALRoundTrip appends across a close/reopen boundary and checks every
+// batch replays in order with continuous sequencing.
+func TestWALRoundTrip(t *testing.T) {
+	fs := hgtest.NewFaultFS()
+	opts := hgio.WALOptions{FS: fs, Sync: hgio.SyncPolicy{Mode: hgio.SyncAlways}}
+	w, rep := mustOpen(t, "wal", opts, nil)
+	if rep.Batches != 0 || rep.LastSeq != 0 {
+		t.Fatalf("fresh log reported recovery %+v", rep)
+	}
+	var want []hgio.WALBatch
+	for i := 0; i < 5; i++ {
+		b := hgio.WALBatch{VertsAfter: 7, Records: []hgio.IngestRecord{insRec(uint32(i), uint32(i+1))}}
+		if err := w.Append(&b); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, b.Seq)
+		}
+		want = append(want, b)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	var got []hgio.WALBatch
+	w2, rep2 := mustOpen(t, "wal", opts, collect(&got))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %+v, want %+v", got, want)
+	}
+	if rep2.Batches != 5 || rep2.LastSeq != 5 || rep2.TruncatedBytes != 0 {
+		t.Fatalf("recovery report %+v", rep2)
+	}
+	// Appends continue the sequence after recovery.
+	b := hgio.WALBatch{Records: []hgio.IngestRecord{insRec(9, 10)}}
+	if err := w2.Append(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 6 {
+		t.Fatalf("post-recovery append got seq %d, want 6", b.Seq)
+	}
+	w2.Close()
+}
+
+// TestWALRotationChain forces rotation every few records and checks the
+// cross-segment chain recovers, including when a checkpoint-style Reset
+// removed early segments.
+func TestWALRotationChain(t *testing.T) {
+	fs := hgtest.NewFaultFS()
+	opts := hgio.WALOptions{FS: fs, Sync: hgio.SyncPolicy{Mode: hgio.SyncAlways}, SegmentBytes: 128}
+	w, _ := mustOpen(t, "wal", opts, nil)
+	for i := 0; i < 20; i++ {
+		if err := w.Append(&hgio.WALBatch{Records: []hgio.IngestRecord{insRec(uint32(i), uint32(i+1))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments (%d bytes)", st.Segments, st.Bytes)
+	}
+	w.Close()
+
+	var got []hgio.WALBatch
+	w2, rep := mustOpen(t, "wal", opts, collect(&got))
+	if rep.Batches != 20 || rep.LastSeq != 20 {
+		t.Fatalf("recovered %+v", rep)
+	}
+	for i, b := range got {
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("batch %d has seq %d", i, b.Seq)
+		}
+	}
+	w2.Close()
+}
+
+// TestWALReset pins checkpoint-truncation semantics: old segments go away,
+// sequence numbering continues, and a reopen sees only post-reset batches.
+func TestWALReset(t *testing.T) {
+	fs := hgtest.NewFaultFS()
+	opts := hgio.WALOptions{FS: fs, Sync: hgio.SyncPolicy{Mode: hgio.SyncAlways}, SegmentBytes: 128}
+	w, _ := mustOpen(t, "wal", opts, nil)
+	for i := 0; i < 10; i++ {
+		if err := w.Append(&hgio.WALBatch{Records: []hgio.IngestRecord{insRec(uint32(i), uint32(i+1))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if st := w.Stats(); st.Segments != 1 {
+		t.Fatalf("post-reset segments = %d, want 1", st.Segments)
+	}
+	b := hgio.WALBatch{Records: []hgio.IngestRecord{insRec(100, 101)}}
+	if err := w.Append(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 11 {
+		t.Fatalf("post-reset seq = %d, want 11 (numbering must survive truncation)", b.Seq)
+	}
+	w.Close()
+
+	var got []hgio.WALBatch
+	w2, rep := mustOpen(t, "wal", opts, collect(&got))
+	if len(got) != 1 || got[0].Seq != 11 || rep.LastSeq != 11 {
+		t.Fatalf("post-reset recovery got %+v (report %+v)", got, rep)
+	}
+	w2.Close()
+}
+
+// walFiles lists the wal segment files currently in the fault FS.
+func walFiles(fs *hgtest.FaultFS) []string {
+	var segs []string
+	for _, n := range fs.FileNames() {
+		if strings.Contains(path.Base(n), "wal-") {
+			segs = append(segs, n)
+		}
+	}
+	return segs
+}
+
+// TestWALTornTail chops the active segment mid-frame and checks recovery
+// truncates the tear, keeps everything before it, and stays writable.
+func TestWALTornTail(t *testing.T) {
+	fs := hgtest.NewFaultFS()
+	opts := hgio.WALOptions{FS: fs, Sync: hgio.SyncPolicy{Mode: hgio.SyncAlways}}
+	w, _ := mustOpen(t, "wal", opts, nil)
+	for i := 0; i < 4; i++ {
+		if err := w.Append(&hgio.WALBatch{Records: []hgio.IngestRecord{insRec(uint32(i), uint32(i+1))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	segs := walFiles(fs)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	active := segs[0]
+	size := fs.FileSize(active)
+	f, err := fs.OpenFile(active, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(size - 7); err != nil { // mid-frame: tears batch 4
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var got []hgio.WALBatch
+	w2, rep := mustOpen(t, "wal", opts, collect(&got))
+	if len(got) != 3 || rep.LastSeq != 3 {
+		t.Fatalf("after torn tail recovered %d batches (report %+v), want 3", len(got), rep)
+	}
+	if rep.TruncatedBytes == 0 {
+		t.Fatalf("report did not count truncated bytes: %+v", rep)
+	}
+	// The log must remain writable and re-recoverable after the repair.
+	b := hgio.WALBatch{Records: []hgio.IngestRecord{insRec(50, 51)}}
+	if err := w2.Append(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 4 {
+		t.Fatalf("post-repair seq = %d, want 4 (the torn, unacked batch's number is reused)", b.Seq)
+	}
+	w2.Close()
+	got = nil
+	w3, rep3 := mustOpen(t, "wal", opts, collect(&got))
+	if len(got) != 4 || rep3.LastSeq != 4 {
+		t.Fatalf("re-recovery got %d batches, want 4 (%+v)", len(got), rep3)
+	}
+	w3.Close()
+}
+
+// TestWALQuarantine covers the corruption cases that must quarantine and
+// refuse writes rather than truncate: a bit flip in a sealed segment, and
+// a bit flip mid-segment with intact frames after it.
+func TestWALQuarantine(t *testing.T) {
+	build := func(t *testing.T, segBytes int64) (*hgtest.FaultFS, hgio.WALOptions) {
+		fs := hgtest.NewFaultFS()
+		opts := hgio.WALOptions{FS: fs, Sync: hgio.SyncPolicy{Mode: hgio.SyncAlways}, SegmentBytes: segBytes}
+		w, _ := mustOpen(t, "wal", opts, nil)
+		for i := 0; i < 12; i++ {
+			if err := w.Append(&hgio.WALBatch{Records: []hgio.IngestRecord{insRec(uint32(i), uint32(i+1))}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+		return fs, opts
+	}
+	check := func(t *testing.T, fs *hgtest.FaultFS, opts hgio.WALOptions) {
+		t.Helper()
+		var got []hgio.WALBatch
+		w, rep, err := hgio.OpenWAL("wal", opts, collect(&got))
+		if !errors.Is(err, hgio.ErrWALCorrupt) {
+			t.Fatalf("OpenWAL error = %v, want ErrWALCorrupt (report %+v)", err, rep)
+		}
+		if w != nil {
+			t.Fatal("corrupt log returned a writable WAL")
+		}
+		if len(rep.Quarantined) == 0 || rep.Reason == "" {
+			t.Fatalf("report %+v: quarantine not recorded", rep)
+		}
+		found := false
+		for _, n := range fs.FileNames() {
+			if strings.HasSuffix(n, ".quarantined") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no *.quarantined file on disk: %v", fs.FileNames())
+		}
+	}
+
+	t.Run("sealed segment bit flip", func(t *testing.T) {
+		fs, opts := build(t, 128) // many sealed segments
+		segs := walFiles(fs)
+		if len(segs) < 3 {
+			t.Fatalf("want rotation, got %v", segs)
+		}
+		// Flip a payload byte in the middle of the FIRST (sealed) segment.
+		if err := fs.Corrupt(segs[0], fs.FileSize(segs[0])/2, 0x40); err != nil {
+			t.Fatal(err)
+		}
+		check(t, fs, opts)
+	})
+	t.Run("mid-segment flip with intact frames after", func(t *testing.T) {
+		fs, opts := build(t, hgio.DefaultWALSegmentBytes) // single active segment
+		segs := walFiles(fs)
+		if len(segs) != 1 {
+			t.Fatalf("want one segment, got %v", segs)
+		}
+		// Flip a byte just past the header: damages an early frame while
+		// later frames stay intact — corruption, not a torn tail.
+		if err := fs.Corrupt(segs[0], 40, 0x08); err != nil {
+			t.Fatal(err)
+		}
+		check(t, fs, opts)
+	})
+	t.Run("chain mismatch across segments", func(t *testing.T) {
+		fs, opts := build(t, 128)
+		segs := walFiles(fs)
+		// Remove a middle segment: its successor's header chain/seq no
+		// longer match what replay accumulated.
+		if err := fs.Remove(segs[1]); err != nil {
+			t.Fatal(err)
+		}
+		check(t, fs, opts)
+	})
+}
+
+// TestWALSyncFailureLatches pins the poisoned-log contract: after one
+// failed fsync the append errors and every later append fails fast — the
+// serving layer relies on this to stop acking.
+func TestWALSyncFailureLatches(t *testing.T) {
+	fs := hgtest.NewFaultFS()
+	opts := hgio.WALOptions{FS: fs, Sync: hgio.SyncPolicy{Mode: hgio.SyncAlways}}
+	w, _ := mustOpen(t, "wal", opts, nil)
+	if err := w.Append(&hgio.WALBatch{Records: []hgio.IngestRecord{insRec(1, 2)}}); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailSync(1)
+	if err := w.Append(&hgio.WALBatch{Records: []hgio.IngestRecord{insRec(2, 3)}}); !errors.Is(err, hgtest.ErrInjectedSyncFailure) {
+		t.Fatalf("append with failing fsync: %v, want injected failure", err)
+	}
+	if err := w.Append(&hgio.WALBatch{Records: []hgio.IngestRecord{insRec(3, 4)}}); err == nil {
+		t.Fatal("append after fsync failure succeeded; the log must stay poisoned")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() = nil on poisoned log")
+	}
+	w.Close()
+}
+
+// TestWALConcurrentBatchAppend hammers group commit: concurrent appenders
+// must all come back durable with unique contiguous sequences.
+func TestWALConcurrentBatchAppend(t *testing.T) {
+	fs := hgtest.NewFaultFS()
+	opts := hgio.WALOptions{FS: fs, Sync: hgio.SyncPolicy{Mode: hgio.SyncBatch, MaxDelay: 200 * time.Microsecond}}
+	w, _ := mustOpen(t, "wal", opts, nil)
+	const (
+		writers = 8
+		each    = 25
+	)
+	var wg sync.WaitGroup
+	seqs := make([][]uint64, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b := hgio.WALBatch{Records: []hgio.IngestRecord{insRec(uint32(g), uint32(1000+i))}}
+				if err := w.Append(&b); err != nil {
+					t.Errorf("writer %d append %d: %v", g, i, err)
+					return
+				}
+				seqs[g] = append(seqs[g], b.Seq)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range seqs {
+		for _, q := range s {
+			if seen[q] {
+				t.Fatalf("sequence %d assigned twice", q)
+			}
+			seen[q] = true
+		}
+	}
+	for q := uint64(1); q <= writers*each; q++ {
+		if !seen[q] {
+			t.Fatalf("sequence %d missing", q)
+		}
+	}
+	w.Close()
+	var got []hgio.WALBatch
+	w2, rep := mustOpen(t, "wal", opts, collect(&got))
+	if rep.Batches != writers*each {
+		t.Fatalf("recovered %d batches, want %d", rep.Batches, writers*each)
+	}
+	w2.Close()
+}
+
+// TestWALCrashImageRecovery drives the full fault loop at the hgio level:
+// append under each sync policy, crash-image the filesystem, recover, and
+// check the durable prefix property the serving layer builds on.
+func TestWALCrashImageRecovery(t *testing.T) {
+	for _, mode := range []hgio.SyncPolicy{{Mode: hgio.SyncAlways}, {Mode: hgio.SyncBatch}, {Mode: hgio.SyncNone}} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for iter := 0; iter < 40; iter++ {
+				fs := hgtest.NewFaultFS()
+				opts := hgio.WALOptions{FS: fs, Sync: mode, SegmentBytes: 256}
+				w, _ := mustOpen(t, "wal", opts, nil)
+				acked := uint64(0)
+				total := 12
+				killAt := fs.Ops() + int64(rng.Intn(60))
+				fs.CrashAfter(killAt - fs.Ops())
+				for i := 0; i < total; i++ {
+					b := hgio.WALBatch{Records: []hgio.IngestRecord{insRec(uint32(i), uint32(i+1))}}
+					if err := w.Append(&b); err != nil {
+						break
+					}
+					acked = b.Seq
+				}
+				img := fs.CrashImage(rng)
+				var got []hgio.WALBatch
+				w2, rep, err := hgio.OpenWAL("wal", hgio.WALOptions{FS: img, Sync: mode, SegmentBytes: 256}, collect(&got))
+				if err != nil {
+					t.Fatalf("iter %d (killAt %d): recovery failed: %v (report %+v)", iter, killAt, err, rep)
+				}
+				// Replay must be a contiguous prefix 1..LastSeq...
+				for i, b := range got {
+					if b.Seq != uint64(i+1) {
+						t.Fatalf("iter %d: batch %d has seq %d", iter, i, b.Seq)
+					}
+				}
+				// ...and with fsync on the ack path, cover every acked seq.
+				if mode.Mode != hgio.SyncNone && rep.LastSeq < acked {
+					t.Fatalf("iter %d (killAt %d): acked through seq %d but recovered only %d", iter, killAt, acked, rep.LastSeq)
+				}
+				w2.Close()
+				w.Close()
+			}
+		})
+	}
+}
+
+// TestWALStartAfter pins the checkpoint-coverage contract: recovery with
+// StartAfter=N validates but does not re-apply batches 1..N (a crash
+// between the checkpoint rename and WAL.Reset leaves them in the log),
+// removes leading segments the interrupted truncation would have removed,
+// and never hands out an append sequence at or below the mark even when
+// the surviving log ends short of it.
+func TestWALStartAfter(t *testing.T) {
+	fs := hgtest.NewFaultFS()
+	fill := func(dir string, opts hgio.WALOptions) {
+		w, _ := mustOpen(t, dir, opts, nil)
+		for i := 0; i < 6; i++ {
+			if err := w.Append(&hgio.WALBatch{Records: []hgio.IngestRecord{insRec(uint32(i), uint32(i+1))}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+	}
+
+	// All six batches in ONE segment: a checkpoint covering through 4 whose
+	// truncation never ran must skip 1..4 in place and replay only 5, 6.
+	opts := hgio.WALOptions{FS: fs, Sync: hgio.SyncPolicy{Mode: hgio.SyncAlways}}
+	fill("d", opts)
+	after := opts
+	after.StartAfter = 4
+	var got []hgio.WALBatch
+	w2, rep := mustOpen(t, "d", after, collect(&got))
+	if rep.Skipped != 4 || rep.Batches != 2 || rep.LastSeq != 6 {
+		t.Fatalf("recovery %+v, want 4 skipped, 2 replayed, last seq 6", rep)
+	}
+	if len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Fatalf("replayed %+v, want seqs 5,6", got)
+	}
+	w2.Close()
+
+	// One batch per segment: the same mark must remove the fully-covered
+	// leading segments (finishing the interrupted truncation) and still
+	// replay the tail.
+	small := hgio.WALOptions{FS: fs, Sync: hgio.SyncPolicy{Mode: hgio.SyncAlways}, SegmentBytes: 128}
+	fill("d2", small)
+	segsBefore := len(walFiles(fs)) // d's + d2's segments
+	smallAfter := small
+	smallAfter.StartAfter = 4
+	got = nil
+	w2b, rep := mustOpen(t, "d2", smallAfter, collect(&got))
+	if rep.Batches != 2 || len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Fatalf("segmented recovery %+v (replayed %+v), want seqs 5,6", rep, got)
+	}
+	if n := len(walFiles(fs)); n >= segsBefore {
+		t.Fatalf("covered segments not removed: %d segments before, %d after", segsBefore, n)
+	}
+	w2b.Close()
+
+	// Checkpoint covers MORE than the log holds (the log's tail was torn
+	// inside covered territory): nothing replays, and the next append must
+	// clear the mark — re-using a covered sequence would be skipped as
+	// already-checkpointed by the next recovery.
+	after.StartAfter = 10
+	got = nil
+	w3, rep := mustOpen(t, "d", after, collect(&got))
+	if rep.Batches != 0 || len(got) != 0 || rep.LastSeq != 10 {
+		t.Fatalf("recovery %+v (replayed %d), want nothing replayed and last seq 10", rep, len(got))
+	}
+	b := hgio.WALBatch{Records: []hgio.IngestRecord{insRec(7, 8)}}
+	if err := w3.Append(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 11 {
+		t.Fatalf("append after covered recovery got seq %d, want 11", b.Seq)
+	}
+	w3.Close()
+}
+
+// TestCheckpointRoundTrip checks the atomic save/load pair, including the
+// missing and corrupt cases the registry's recovery branches on.
+func TestCheckpointRoundTrip(t *testing.T) {
+	fs := hgtest.NewFaultFS()
+	if err := fs.MkdirAll("g", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, err := hgio.LoadCheckpoint(fs, "g"); found || err != nil {
+		t.Fatalf("empty dir: found=%v err=%v", found, err)
+	}
+	h := hgtest.Fig1Data()
+	if err := hgio.SaveCheckpoint(fs, "g", h, 42); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, seq, found, err := hgio.LoadCheckpoint(fs, "g")
+	if err != nil || !found || seq != 42 {
+		t.Fatalf("load: seq=%d found=%v err=%v", seq, found, err)
+	}
+	if got.NumEdges() != h.NumEdges() || got.NumVertices() != h.NumVertices() {
+		t.Fatalf("round-trip mismatch: %v vs %v", got, h)
+	}
+	// Corrupt the checkpoint: load must report found=true with an error,
+	// never silently hand back a broken graph.
+	if err := fs.Corrupt(path.Join("g", hgio.CheckpointFile), 20, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, err := hgio.LoadCheckpoint(fs, "g"); !found || err == nil {
+		t.Fatalf("corrupt checkpoint: found=%v err=%v, want found+error", found, err)
+	}
+}
+
+// TestWALOnOSFilesystem smoke-tests the default OSFS path end to end in a
+// temp dir: everything else in this file runs on the in-memory fault FS.
+func TestWALOnOSFilesystem(t *testing.T) {
+	dir := path.Join(t.TempDir(), "wal")
+	opts := hgio.WALOptions{Sync: hgio.SyncPolicy{Mode: hgio.SyncAlways}, SegmentBytes: 256}
+	w, _ := mustOpen(t, dir, opts, nil)
+	for i := 0; i < 10; i++ {
+		if err := w.Append(&hgio.WALBatch{Records: []hgio.IngestRecord{insRec(uint32(i), uint32(i+1))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hgio.SaveCheckpoint(nil, dir, hgtest.Fig1Data(), 0); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	var got []hgio.WALBatch
+	w2, rep := mustOpen(t, dir, opts, collect(&got))
+	if rep.Batches != 10 || rep.LastSeq != 10 {
+		t.Fatalf("recovered %+v", rep)
+	}
+	if _, _, found, err := hgio.LoadCheckpoint(nil, dir); !found || err != nil {
+		t.Fatalf("checkpoint on OS fs: found=%v err=%v", found, err)
+	}
+	if err := w2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	if fmt.Sprint(walFilesOS(t, dir)) == "[]" {
+		t.Fatal("reset left no active segment")
+	}
+}
+
+func walFilesOS(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "wal-") {
+			segs = append(segs, e.Name())
+		}
+	}
+	return segs
+}

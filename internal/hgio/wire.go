@@ -106,6 +106,17 @@ type GraphInfo struct {
 	BitmapBytes    int `json:"bitmap_bytes"`
 	DeltaEdges     int `json:"delta_edges,omitempty"`
 	DeadEdges      int `json:"dead_edges,omitempty"`
+	// ReadOnly marks a graph degraded to read-only serving (quarantined
+	// WAL segment, unreadable checkpoint, failed append — see
+	// docs/OPERATIONS.md); ReadOnlyReason names the root cause. The Wal*
+	// fields report the graph's write-ahead log when durability is on:
+	// live segment count, on-disk bytes, and the last journaled batch
+	// sequence.
+	ReadOnly       bool   `json:"read_only,omitempty"`
+	ReadOnlyReason string `json:"read_only_reason,omitempty"`
+	WalSegments    int    `json:"wal_segments,omitempty"`
+	WalBytes       int64  `json:"wal_bytes,omitempty"`
+	WalLastSeq     uint64 `json:"wal_last_seq,omitempty"`
 }
 
 // GraphInfoFor assembles a GraphInfo from a graph and its registry name.
@@ -168,6 +179,11 @@ type IngestSummary struct {
 	Version       uint64 `json:"version"`
 	Compacting    bool   `json:"compacting,omitempty"`
 	ElapsedUs     int64  `json:"elapsed_us"`
+	// Durable reports that the batch was journaled to the graph's WAL
+	// (and fsynced per the -wal-sync policy) before this response; WalSeq
+	// is its sequence number in the log. Absent when durability is off.
+	Durable bool   `json:"durable,omitempty"`
+	WalSeq  uint64 `json:"wal_seq,omitempty"`
 }
 
 // CompactSummary is the JSON response of POST /graphs/{name}/compact.
@@ -221,6 +237,12 @@ type SchedulerStats struct {
 	Admitted      uint64 `json:"admitted"`
 	Rejected      uint64 `json:"rejected"`
 	ActiveTenants int    `json:"active_tenants"`
+
+	// WALEnabled mirrors -wal-dir being set; ReadOnlyGraphs counts graphs
+	// degraded to read-only serving (alert when non-zero — see the
+	// quarantine runbook in docs/OPERATIONS.md).
+	WALEnabled     bool `json:"wal_enabled"`
+	ReadOnlyGraphs int  `json:"read_only_graphs"`
 }
 
 // HealthResponse is the body of GET /healthz.

@@ -10,6 +10,7 @@
 package server
 
 import (
+	"hash/fnv"
 	"net/http"
 	"strings"
 	"sync"
@@ -133,6 +134,20 @@ func (a *admission) acquire(tenant string, cost uint64) (release func(), ok bool
 			a.mu.Unlock()
 		})
 	}, true
+}
+
+// retryAfterFor returns the tenant's 429 retry hint: the configured base
+// jittered deterministically per tenant into [base/2, 3*base/2). A quota
+// release is observed by every tenant it rejected at once; a constant hint
+// would march them all back in lockstep (thundering herd), re-rejecting
+// all but one and resynchronising the rest. Hashing the tenant key spreads
+// the herd across a full base-width window while keeping each tenant's
+// hint stable, so well-behaved clients still see a consistent number.
+func (a *admission) retryAfterFor(tenant string) time.Duration {
+	base := a.cfg.RetryAfter
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return base/2 + time.Duration(h.Sum32()%1024)*base/1024
 }
 
 // activeTenants counts tenants currently holding cost tokens.

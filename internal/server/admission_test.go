@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -113,6 +114,29 @@ func TestTenantKey(t *testing.T) {
 	}
 }
 
+// TestRetryAfterJitter pins the jitter contract: per-tenant deterministic,
+// bounded to [base/2, 3*base/2), and actually spread — distinct tenants
+// must not all land on the same instant, or a quota release stampedes.
+func TestRetryAfterJitter(t *testing.T) {
+	a := newAdmission(AdmissionConfig{Enabled: true, RetryAfter: 4 * time.Second})
+	base := a.cfg.RetryAfter
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		d := a.retryAfterFor(tenant)
+		if d < base/2 || d >= base+base/2 {
+			t.Fatalf("retryAfterFor(%q) = %v, outside [%v, %v)", tenant, d, base/2, base+base/2)
+		}
+		if d2 := a.retryAfterFor(tenant); d2 != d {
+			t.Fatalf("retryAfterFor(%q) unstable: %v then %v", tenant, d, d2)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 16 {
+		t.Fatalf("64 tenants landed on only %d distinct retry instants; jitter too coarse", len(seen))
+	}
+}
+
 // TestAdmission429 exercises the HTTP rejection path: with the tenant's
 // quota held by an in-flight request, an expensive query gets 429 with
 // the Retry-After header and the structured JSON retry fields, while a
@@ -143,15 +167,19 @@ func TestAdmission429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "3" {
-		t.Errorf("Retry-After = %q, want \"3\" seconds", got)
+	// The hint is jittered per tenant (thundering-herd protection):
+	// deterministic for "alice", somewhere in [base/2, 3*base/2).
+	wantRetry := s.adm.retryAfterFor("alice")
+	wantHeader := strconv.FormatInt(int64((wantRetry+time.Second-1)/time.Second), 10)
+	if got := resp.Header.Get("Retry-After"); got != wantHeader {
+		t.Errorf("Retry-After = %q, want %q seconds", got, wantHeader)
 	}
 	var er hgio.ErrorResponse
 	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
 		t.Fatal(err)
 	}
-	if er.Error == "" || er.RetryAfterMs != 3000 || er.EstimatedCost == 0 {
-		t.Fatalf("429 body = %+v, want error text, retry_after_ms=3000 and a cost", er)
+	if er.Error == "" || er.RetryAfterMs != wantRetry.Milliseconds() || er.EstimatedCost == 0 {
+		t.Fatalf("429 body = %+v, want error text, retry_after_ms=%d and a cost", er, wantRetry.Milliseconds())
 	}
 
 	// Same query, different tenant: admitted and served.

@@ -20,12 +20,16 @@ type Registry struct {
 	mu        sync.RWMutex
 	graphs    map[string]*graphEntry
 	onReplace func(name string)
+	// dur, when set (EnableDurability), gives every registered graph a
+	// checkpoint + WAL under dur.Dir and routes Add through recovery.
+	dur *DurabilityConfig
 }
 
-// graphEntry pairs a live graph with its replacement generation and a
+// graphEntry pairs a live graph with its replacement generation, a
 // per-version cache of its Table II statistics (ComputeStats walks every
 // edge, so /graphs polling must not recompute it per request while the
-// graph is idle).
+// graph is idle), and — with durability on — its WAL attachment and
+// degraded-mode state.
 type graphEntry struct {
 	live *hgmatch.DeltaBuffer
 	gen  uint64 // replacement generation (1 for the first registration)
@@ -33,6 +37,17 @@ type graphEntry struct {
 	infoMu      sync.Mutex
 	info        hgio.GraphInfo
 	infoVersion uint64 // combined version info was computed at; 0 = never
+
+	// ingestMu serialises writers (ingest apply+journal+publish, and
+	// compaction+checkpoint+truncate), so WAL order is apply order and a
+	// checkpoint can never race the appends it is folding in. Readers
+	// never take it.
+	ingestMu sync.Mutex
+
+	roMu     sync.Mutex
+	roReason string // non-empty = read-only (degraded) serving
+
+	dur *durableState // nil when durability is off
 }
 
 // version combines the replacement generation with the snapshot's delta
@@ -50,24 +65,40 @@ func NewRegistry() *Registry {
 // Add registers a graph under name, replacing any previous graph of that
 // name (the replacement gets a new generation, invalidating cached plans
 // and firing the replacement hook). The graph becomes live: it accepts
-// online inserts/deletes through Live(name).
+// online inserts/deletes through Live(name). With durability enabled, h is
+// only the seed: a graph with recoverable history comes back as its
+// checkpoint plus replayed WAL instead (see addDurable).
 func (r *Registry) Add(name string, h *hgmatch.Hypergraph) error {
+	r.mu.RLock()
+	dur := r.dur
+	r.mu.RUnlock()
+	if dur != nil {
+		return r.addDurable(name, *dur, func() (*hgmatch.Hypergraph, error) { return h, nil })
+	}
 	live, err := hgmatch.NewDeltaBuffer(h)
 	if err != nil {
 		return fmt.Errorf("server: registering graph %q: %w", name, err)
 	}
+	r.install(name, &graphEntry{live: live})
+	return nil
+}
+
+// install publishes an entry under name, bumping the replacement
+// generation and firing the replacement hook when a previous registration
+// existed.
+func (r *Registry) install(name string, e *graphEntry) {
 	r.mu.Lock()
 	var prevGen uint64
 	if prev, ok := r.graphs[name]; ok {
 		prevGen = prev.gen
 	}
-	r.graphs[name] = &graphEntry{live: live, gen: prevGen + 1}
+	e.gen = prevGen + 1
+	r.graphs[name] = e
 	hook := r.onReplace
 	r.mu.Unlock()
 	if prevGen > 0 && hook != nil {
 		hook(name)
 	}
-	return nil
 }
 
 // setOnReplace installs a hook fired (outside the registry lock) whenever
@@ -80,11 +111,26 @@ func (r *Registry) setOnReplace(fn func(name string)) {
 }
 
 // LoadFile reads a hypergraph from path (text or binary .hg, sniffed) and
-// registers it under name.
+// registers it under name. With durability enabled the file is only read
+// when the graph has no checkpoint yet — a recovered graph's state is its
+// checkpoint + WAL, not the (possibly stale) seed file.
 func (r *Registry) LoadFile(name, path string) error {
-	h, err := hgio.ReadAutoFile(path)
+	r.mu.RLock()
+	dur := r.dur
+	r.mu.RUnlock()
+	load := func() (*hgmatch.Hypergraph, error) {
+		h, err := hgio.ReadAutoFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("server: loading graph %q from %s: %w", name, path, err)
+		}
+		return h, nil
+	}
+	if dur != nil {
+		return r.addDurable(name, *dur, load)
+	}
+	h, err := load()
 	if err != nil {
-		return fmt.Errorf("server: loading graph %q from %s: %w", name, path, err)
+		return err
 	}
 	return r.Add(name, h)
 }
@@ -148,12 +194,26 @@ func (r *Registry) Info(name string) (hgio.GraphInfo, bool) {
 	h := e.live.Snapshot()
 	v := e.version(h)
 	e.infoMu.Lock()
-	defer e.infoMu.Unlock()
 	if e.infoVersion != v {
 		e.info = hgio.GraphInfoFor(name, h)
 		e.infoVersion = v
 	}
-	return e.info, true
+	info := e.info
+	e.infoMu.Unlock()
+	// Durability state decorates a copy: it moves without a version bump
+	// (a WAL append or degradation changes no snapshot), so it must not be
+	// folded into the version-keyed cache above.
+	if reason, ro := e.readOnly(); ro {
+		info.ReadOnly = true
+		info.ReadOnlyReason = reason
+	}
+	if e.dur != nil && e.dur.wal != nil {
+		st := e.dur.wal.Stats()
+		info.WalSegments = st.Segments
+		info.WalBytes = st.Bytes
+		info.WalLastSeq = st.LastSeq
+	}
+	return info, true
 }
 
 // Names returns the registered graph names, sorted.

@@ -47,6 +47,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -161,10 +162,14 @@ func New(graphs *Registry, cfg Config) *Server {
 // paths use it; handlers run every match through it).
 func (s *Server) Pool() *hgmatch.Pool { return s.pool }
 
-// Close waits for background compactions and drains the shared pool. The
-// server must not serve requests after Close.
+// Close waits for background compactions, flushes and closes every
+// graph's WAL, and drains the shared pool. The server must not serve
+// requests after Close.
 func (s *Server) Close() {
 	s.compactWG.Wait()
+	if err := s.graphs.Close(); err != nil {
+		log.Printf("server: closing graph WALs: %v", err)
+	}
 	s.pool.Close()
 }
 
@@ -337,11 +342,12 @@ func (s *Server) options(r *http.Request, req *hgio.MatchRequest) ([]hgmatch.Opt
 // cancel/error automatic.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, plan *hgmatch.Plan) (release func(), ok bool) {
 	cost := plan.EstimateCost()
-	release, ok = s.adm.acquire(tenantKey(r), cost)
+	tenant := tenantKey(r)
+	release, ok = s.adm.acquire(tenant, cost)
 	if ok {
 		return release, true
 	}
-	retry := s.adm.cfg.RetryAfter
+	retry := s.adm.retryAfterFor(tenant)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Retry-After", strconv.FormatInt(int64((retry+time.Second-1)/time.Second), 10))
 	w.WriteHeader(http.StatusTooManyRequests)
@@ -545,6 +551,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Admitted:         s.adm.admitted.Load(),
 		Rejected:         s.adm.rejected.Load(),
 		ActiveTenants:    s.adm.activeTenants(),
+		WALEnabled:       s.graphs.Durable(),
+		ReadOnlyGraphs:   s.graphs.ReadOnlyCount(),
 	}
 	if s.adm.cfg.Enabled {
 		out.CheapThreshold = s.adm.cfg.CheapThreshold

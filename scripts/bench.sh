@@ -23,6 +23,14 @@ go test -run '^$' \
 	-bench 'BenchmarkKernelQ3|BenchmarkSharedPoolQ3|BenchmarkFig8SingleThread/HGMatch|BenchmarkFig11Scheduling|BenchmarkAblationDeque|BenchmarkPublicAPI|BenchmarkOnlineIngest' \
 	-benchmem -count=3 -benchtime=50x . | tee "$tmp"
 
+# The durability tax on the serving path: one 100-record ingest request
+# through the full hgserve handler per op (decode, apply, journal, fsync,
+# publish) across WAL sync policies, with "nowal" as the in-memory
+# baseline. The robustness PR's bar: batch within 2x of nowal.
+go test -run '^$' \
+	-bench 'BenchmarkWALIngest' \
+	-benchmem -count=3 -benchtime=50x ./internal/server | tee -a "$tmp"
+
 # The set-kernel ablation (array vs bitmap vs hybrid containers across
 # density/k) runs at a fixed iteration count high enough for its ns-scale
 # ops; it documents where the hybrid posting containers win and where the
