@@ -37,9 +37,11 @@ func main() {
 		count    = flag.Int("count", 20, "number of queries to sample")
 		outdir   = flag.String("outdir", ".", "directory for sampled query files")
 		asBinary = flag.Bool("binary", false, "write the compact binary format instead of text")
+		asV3     = flag.Bool("v3", false, "with -binary, write mappable binary v3 (HGB3, for hgserve -mmap) instead of v2")
 	)
 	flag.Parse()
 	writeBinary = *asBinary
+	writeV3 = *asV3
 
 	if *list {
 		fmt.Println("dataset  paper|V|   paper|E|   |Σ|    amax   a")
@@ -105,13 +107,16 @@ func main() {
 	}
 }
 
-var writeBinary bool
+var writeBinary, writeV3 bool
 
 func write(path string, h *hypergraph.Hypergraph) {
 	var err error
-	if writeBinary {
+	switch {
+	case writeBinary && writeV3:
+		err = hgio.WriteBinaryV3File(path, h)
+	case writeBinary:
 		err = hgio.WriteBinaryFile(path, h)
-	} else {
+	default:
 		err = hgio.WriteFile(path, h)
 	}
 	if err != nil {

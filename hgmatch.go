@@ -152,6 +152,31 @@ func SaveBinary(w io.Writer, h *Hypergraph) error { return hgio.WriteBinary(w, h
 // SaveBinaryFile writes binary format v2 to a file path.
 func SaveBinaryFile(path string, h *Hypergraph) error { return hgio.WriteBinaryFile(path, h) }
 
+// SaveBinaryV3 writes a hypergraph to w in binary format v3 (HGB3): the
+// same fully-indexed content as v2, laid out as page-aligned fixed-width
+// sections behind an offset directory, so files open either by heap read
+// (Load) or zero-copy by MapFile.
+func SaveBinaryV3(w io.Writer, h *Hypergraph) error { return hgio.WriteBinaryV3(w, h) }
+
+// SaveBinaryV3File writes binary format v3 to a file path.
+func SaveBinaryV3File(path string, h *Hypergraph) error { return hgio.WriteBinaryV3File(path, h) }
+
+// MappedGraph is a hypergraph served zero-copy off a memory-mapped binary
+// v3 file: its CSR arrays point into the mapping, pages fault in on first
+// touch, and Release unmaps once every Retain is balanced. The graph is
+// strictly read-only.
+type MappedGraph = hgio.MappedGraph
+
+// MapOptions tunes MapFile.
+type MapOptions = hgio.MapOptions
+
+// MapFile memory-maps a binary v3 file and attaches a read-only
+// Hypergraph to it without copying the section payloads. The file's
+// structural tables are validated eagerly; set MapOptions.Verify to also
+// checksum the full payload (reads every page once). Call Release when
+// done with the graph.
+func MapFile(path string, opts MapOptions) (*MappedGraph, error) { return hgio.MapFile(path, opts) }
+
 // Plan is a compiled execution plan for one (query, data) pair: the
 // matching order (paper Algorithm 3) plus per-step candidate-generation
 // and validation tables. Plans are immutable and safe to share across
@@ -429,4 +454,4 @@ func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
 var ErrNoDicts = hgio.ErrNoDicts
 
 // Version identifies this reproduction release.
-const Version = "1.7.0"
+const Version = "1.8.0"

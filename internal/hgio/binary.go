@@ -411,7 +411,7 @@ func (r *binReader) readCommon() (*commonSections, error) {
 	return c, nil
 }
 
-// ReadBinary parses either binary format version, dispatching on the magic.
+// ReadBinary parses any binary format version, dispatching on the magic.
 func ReadBinary(rd io.Reader) (*hypergraph.Hypergraph, error) {
 	br := bufio.NewReader(rd)
 	magic := make([]byte, len(binaryMagic))
@@ -424,6 +424,18 @@ func ReadBinary(rd io.Reader) (*hypergraph.Hypergraph, error) {
 		return readBinaryV1(r)
 	case binaryMagicV2:
 		return readBinaryV2(r)
+	case binaryMagicV3:
+		// v3 is a random-access sectioned layout, not a stream: slurp the
+		// remainder and decode the complete image (heap path, both
+		// checksums verified).
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("hgio: reading v3 image: %w", err)
+		}
+		data := make([]byte, 0, len(binaryMagicV3)+len(rest))
+		data = append(data, binaryMagicV3...)
+		data = append(data, rest...)
+		return readBinaryV3(data)
 	}
 	return nil, fmt.Errorf("hgio: bad magic %q", magic)
 }
@@ -564,8 +576,11 @@ func ReadBinaryFile(path string) (*hypergraph.Hypergraph, error) {
 func ReadAuto(r io.Reader) (*hypergraph.Hypergraph, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(binaryMagic))
-	if err == nil && (string(head) == binaryMagicV1 || string(head) == binaryMagicV2) {
-		return ReadBinary(br)
+	if err == nil {
+		switch string(head) {
+		case binaryMagicV1, binaryMagicV2, binaryMagicV3:
+			return ReadBinary(br)
+		}
 	}
 	return Read(br)
 }

@@ -3,6 +3,7 @@ package hgio_test
 import (
 	"bytes"
 	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -17,17 +18,38 @@ import (
 func TestBinaryReaderNeverPanics(t *testing.T) {
 	f := func(raw []byte, version uint8) bool {
 		input := raw
-		switch version % 3 {
+		switch version % 4 {
 		case 1:
 			input = append([]byte("HGB1"), raw...)
 		case 2:
 			input = append([]byte("HGB2"), raw...)
+		case 3:
+			input = append([]byte("HGB3"), raw...)
 		}
 		h, err := hgio.ReadBinary(bytes.NewReader(input))
 		if err != nil {
 			return true
 		}
 		return h.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 750}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryV3AttachNeverPanicsOnSoup: random byte soup through the
+// zero-copy attach path (checksum verification on — the configuration
+// untrusted bytes must use) errors cleanly, never panics.
+func TestBinaryV3AttachNeverPanicsOnSoup(t *testing.T) {
+	f := func(raw []byte) bool {
+		input := append([]byte("HGB3"), raw...)
+		m, err := hgio.MapBytes(input, hgio.MapOptions{Verify: true})
+		if err != nil {
+			return true
+		}
+		ok := m.Graph().Validate() == nil
+		m.Release()
+		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 750}); err != nil {
 		t.Fatal(err)
@@ -127,6 +149,155 @@ func TestBinaryV2TruncationsNeverPanic(t *testing.T) {
 	for cut := 0; cut < len(full); cut++ {
 		if _, err := hgio.ReadBinary(bytes.NewReader(full[:cut])); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// fixV3HeaderCRC recomputes the v3 header checksum after a test mutates
+// the header or directory, so corruptions aimed at later validation stages
+// are not masked by the fingerprint check.
+func fixV3HeaderCRC(data []byte) {
+	le := binary.LittleEndian
+	dirEnd := 96 + 24*int(le.Uint32(data[68:72]))
+	if dirEnd > len(data) {
+		return // directory past EOF: rejected before the CRC is read
+	}
+	tab := crc32.MakeTable(crc32.Castagnoli)
+	crc := crc32.Checksum(data[:76], tab)
+	crc = crc32.Update(crc, tab, make([]byte, 4))
+	crc = crc32.Update(crc, tab, data[80:dirEnd])
+	le.PutUint32(data[76:80], crc)
+}
+
+// TestBinaryV3DirectoryCorruptions aims targeted corruptions at the v3
+// section directory — misaligned offsets, overlapping windows, a directory
+// extending past EOF, unknown and duplicate ids, zero-length and
+// out-of-bounds windows, a lying file size — and requires a clean error
+// from both the heap reader and the zero-copy attach path (verification
+// off: the structural validation alone must reject these before any
+// payload is interpreted).
+func TestBinaryV3DirectoryCorruptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+		NumVertices: 30, NumEdges: 50, NumLabels: 4, MaxArity: 5,
+	})
+	var buf bytes.Buffer
+	if err := hgio.WriteBinaryV3(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	le := binary.LittleEndian
+	ent := func(data []byte, i int) []byte { return data[96+24*i : 96+24*(i+1)] }
+
+	cases := []struct {
+		name    string
+		corrupt func(data []byte)
+	}{
+		{"misaligned-offset", func(d []byte) {
+			e := ent(d, 1)
+			le.PutUint64(e[8:], le.Uint64(e[8:])+4)
+		}},
+		{"overlapping-sections", func(d []byte) {
+			le.PutUint64(ent(d, 2)[8:], le.Uint64(ent(d, 1)[8:]))
+		}},
+		{"directory-past-eof", func(d []byte) {
+			le.PutUint32(d[68:], 100000)
+		}},
+		{"unknown-section-id", func(d []byte) {
+			le.PutUint32(ent(d, 0), 77)
+		}},
+		{"duplicate-section-id", func(d []byte) {
+			copy(ent(d, 2), ent(d, 1))
+		}},
+		{"zero-length-section", func(d []byte) {
+			le.PutUint64(ent(d, 1)[16:], 0)
+		}},
+		{"window-past-eof", func(d []byte) {
+			le.PutUint64(ent(d, 1)[16:], uint64(len(d)))
+		}},
+		{"lying-file-size", func(d []byte) {
+			le.PutUint64(d[8:], le.Uint64(d[8:])+4096)
+		}},
+		{"bogus-alignment", func(d []byte) {
+			le.PutUint32(d[64:], 12345) // not a power of two
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := append([]byte(nil), pristine...)
+			tc.corrupt(data)
+			fixV3HeaderCRC(data)
+			if m, err := hgio.MapBytes(data, hgio.MapOptions{}); err == nil {
+				m.Release()
+				t.Fatal("corrupt directory accepted by attach")
+			}
+			if _, err := hgio.ReadBinary(bytes.NewReader(data)); err == nil {
+				t.Fatal("corrupt directory accepted by heap reader")
+			}
+		})
+	}
+}
+
+// TestBinaryV3BitFlips: single-bit corruptions anywhere in a v3 file must
+// never panic, and — with checksum verification on — must either error or
+// still decode to a structurally valid graph, through both load paths.
+func TestBinaryV3BitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := hgtest.RandomHypergraph(rng, hgtest.RandomConfig{
+		NumVertices: 30, NumEdges: 50, NumLabels: 4, MaxArity: 5,
+	})
+	var buf bytes.Buffer
+	if err := hgio.WriteBinaryV3(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	for trial := 0; trial < 300; trial++ {
+		corrupted := append([]byte(nil), pristine...)
+		i := rng.Intn(len(corrupted))
+		corrupted[i] ^= byte(1 << rng.Intn(8))
+		if got, err := hgio.ReadBinary(bytes.NewReader(corrupted)); err == nil {
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("trial %d (byte %d): heap reader decoded invalid graph: %v", trial, i, verr)
+			}
+		}
+		if m, err := hgio.MapBytes(corrupted, hgio.MapOptions{Verify: true}); err == nil {
+			if verr := m.Graph().Validate(); verr != nil {
+				t.Fatalf("trial %d (byte %d): attach decoded invalid graph: %v", trial, i, verr)
+			}
+			m.Release()
+		}
+	}
+}
+
+// TestBinaryV3TruncationsNeverPanic cuts a v3 file at the header, at every
+// directory byte, at each section boundary and on a stride through the
+// payload: every truncation must error cleanly in both load paths (a
+// mapped attach of a truncated file must fail validation, not fault later).
+func TestBinaryV3TruncationsNeverPanic(t *testing.T) {
+	h := hgtest.Fig1Data()
+	var buf bytes.Buffer
+	if err := hgio.WriteBinaryV3(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cuts := make(map[int]bool)
+	for c := 0; c < 96+24*16 && c < len(full); c++ {
+		cuts[c] = true // header and directory region: every byte
+	}
+	for c := 0; c < len(full); c += 997 {
+		cuts[c] = true
+	}
+	for c := 4096; c < len(full); c += 4096 {
+		cuts[c] = true // section boundaries
+		cuts[c-1] = true
+	}
+	for cut := range cuts {
+		if _, err := hgio.ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("heap reader accepted truncation at %d", cut)
+		}
+		if m, err := hgio.MapBytes(full[:cut], hgio.MapOptions{}); err == nil {
+			m.Release()
+			t.Fatalf("attach accepted truncation at %d", cut)
 		}
 	}
 }

@@ -1,0 +1,29 @@
+//go:build linux
+
+package hgio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapWhole maps the whole file read-only and shared: the page cache backs
+// the graph, pages fault in on first touch, and clean pages can be
+// reclaimed under memory pressure without touching the Go heap.
+func mmapWhole(f *os.File, size int) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func munmapData(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,21 @@
+//go:build !linux
+
+package hgio
+
+import (
+	"io"
+	"os"
+)
+
+// mmapWhole on platforms without wired-up mmap support: read the file into
+// an aligned heap buffer. Attach semantics are identical; the paging
+// benefit is not available.
+func mmapWhole(f *os.File, size int) (data []byte, mapped bool, err error) {
+	buf := alignedBuf(size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func munmapData(data []byte) error { return nil }

@@ -106,6 +106,17 @@ type GraphInfo struct {
 	BitmapBytes    int `json:"bitmap_bytes"`
 	DeltaEdges     int `json:"delta_edges,omitempty"`
 	DeadEdges      int `json:"dead_edges,omitempty"`
+	// Tier reports how the graph is resident right now: "heap" (fully
+	// decoded into Go memory), "mapped" (served zero-copy off an mmap(2)ed
+	// binary-v3 file) or "cold" (registered but not yet activated; stat
+	// fields describe the file header only). ResidentBytes is the Go-heap
+	// footprint the graph pins in that tier — for mapped graphs just slice
+	// headers and lookup tables, the arrays stay in the page cache — and
+	// FileBytes the on-disk size of the backing file (0 for graphs that
+	// only exist in memory).
+	Tier          string `json:"tier,omitempty"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	FileBytes     int64  `json:"file_bytes,omitempty"`
 	// ReadOnly marks a graph degraded to read-only serving (quarantined
 	// WAL segment, unreadable checkpoint, failed append — see
 	// docs/OPERATIONS.md); ReadOnlyReason names the root cause. The Wal*
@@ -138,6 +149,8 @@ func GraphInfoFor(name string, h *hypergraph.Hypergraph) GraphInfo {
 		BitmapBytes:    s.BitmapBytes,
 		DeltaEdges:     s.DeltaEdges,
 		DeadEdges:      s.DeadEdges,
+		Tier:           "heap",
+		ResidentBytes:  int64(s.GraphBytes) + int64(s.IndexBytes) + int64(s.SigTableBytes) + int64(s.BitmapBytes),
 	}
 }
 
@@ -243,6 +256,22 @@ type SchedulerStats struct {
 	// quarantine runbook in docs/OPERATIONS.md).
 	WALEnabled     bool `json:"wal_enabled"`
 	ReadOnlyGraphs int  `json:"read_only_graphs"`
+
+	// Tiered-residency accounting (-mmap mode; zero otherwise).
+	// GraphsResident counts graphs currently attached via mmap,
+	// GraphsCold those registered but not yet activated; heap graphs are
+	// Len() minus both. ResidentBytes sums the mapped file bytes of
+	// resident graphs against ResidentBudget (-resident-bytes, 0 =
+	// unbounded). GraphActivations/GraphEvictions count mmap attaches and
+	// LRU unmaps; GraphPromotions counts mapped graphs promoted to the
+	// heap tier by ingestion (see docs/OPERATIONS.md).
+	GraphsResident   int    `json:"graphs_resident,omitempty"`
+	GraphsCold       int    `json:"graphs_cold,omitempty"`
+	ResidentBytes    int64  `json:"resident_bytes,omitempty"`
+	ResidentBudget   int64  `json:"resident_budget,omitempty"`
+	GraphActivations uint64 `json:"graph_activations,omitempty"`
+	GraphEvictions   uint64 `json:"graph_evictions,omitempty"`
+	GraphPromotions  uint64 `json:"graph_promotions,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz.

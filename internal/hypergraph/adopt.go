@@ -1,0 +1,148 @@
+package hypergraph
+
+import (
+	"fmt"
+
+	"hgmatch/internal/setops"
+)
+
+// ForeignPartition is one hyperedge table whose storage lives outside the
+// Go heap — typically zero-copy views into an mmap(2)ed binary-v3 file.
+// The CSR arrays mirror RawPartition; the optional bitmap sidecar fields
+// carry the persisted posting containers (all empty for an array-only
+// table). Build the Bms entries with setops.BorrowBitmap over the file's
+// word windows and persisted cardinalities, so adopting a sidecar never
+// popcounts — or faults — the word pages.
+type ForeignPartition struct {
+	EdgeLabel Label
+	Edges     []EdgeID // sorted member hyperedge IDs
+	Verts     []VertexID
+	Offsets   []uint32
+	Posts     []EdgeID
+
+	Ranks setops.RankTable
+	BmIdx []int32
+	Bms   []setops.Bitmap
+}
+
+// ForeignStorage is a complete prebuilt hypergraph over foreign backings:
+// every flat array may point into a read-only mapped region. Incidence
+// lists and edge vertex sets arrive as slice views already cut by the
+// caller; the scalar statistics come from the file header.
+type ForeignStorage struct {
+	Labels     []Label
+	Edges      [][]uint32
+	EdgeLabels []Label // nil when unlabelled
+	Incidence  [][]uint32
+	EdgePart   []uint32
+	Parts      []ForeignPartition
+
+	NumLabels  int
+	MaxArity   int
+	TotalArity int
+
+	Dict     *Dict
+	EdgeDict *Dict
+}
+
+// AdoptForeign builds a Hypergraph directly over foreign storage without
+// copying or fully validating it. It is the mmap attach path behind
+// hgio.MapFile: the caller (the binary-v3 reader) has already validated
+// every structural table it hands in — section bounds, offset monotonicity,
+// edge→partition links, sidecar index ranges — and the big payload arrays
+// (edge vertex sets, posting lists, bitmap words) are trusted under the
+// file's checksum rather than swept, so attaching faults only the small
+// header-adjacent pages. Contrast Assemble, which replays the canonical
+// CSR construction over every incidence and is the right entry point for
+// untrusted bytes.
+//
+// The only work done here is rebuilding the in-memory signature interner
+// and partition lookup tables: one signature computation per partition
+// (faulting a handful of pages), never per edge.
+func AdoptForeign(st ForeignStorage) (*Hypergraph, error) {
+	if st.EdgeLabels != nil && len(st.EdgeLabels) != len(st.Edges) {
+		return nil, fmt.Errorf("hypergraph: %d edge labels for %d edges", len(st.EdgeLabels), len(st.Edges))
+	}
+	if len(st.Incidence) != len(st.Labels) {
+		return nil, fmt.Errorf("hypergraph: %d incidence lists for %d vertices", len(st.Incidence), len(st.Labels))
+	}
+	if len(st.EdgePart) != len(st.Edges) {
+		return nil, fmt.Errorf("hypergraph: %d partition links for %d edges", len(st.EdgePart), len(st.Edges))
+	}
+	h := &Hypergraph{
+		labels:     st.Labels,
+		edges:      st.Edges,
+		edgeLabels: st.EdgeLabels,
+		incidence:  st.Incidence,
+		edgePart:   st.EdgePart,
+		dict:       st.Dict,
+		edgeDict:   st.EdgeDict,
+		numLabels:  st.NumLabels,
+		totalArity: st.TotalArity,
+		maxArity:   st.MaxArity,
+	}
+	h.sigTab = newU32Interner(len(st.Parts))
+	h.partitions = make([]*Partition, 0, len(st.Parts))
+	for pi := range st.Parts {
+		fp := &st.Parts[pi]
+		if len(fp.Edges) == 0 {
+			return nil, fmt.Errorf("hypergraph: partition %d is empty", pi)
+		}
+		if int(fp.Edges[0]) >= len(h.edges) {
+			return nil, fmt.Errorf("hypergraph: partition %d references unknown edge %d", pi, fp.Edges[0])
+		}
+		if len(fp.Offsets) != len(fp.Verts)+1 {
+			return nil, fmt.Errorf("hypergraph: partition %d CSR header malformed", pi)
+		}
+		// One signature per table, from its first member: the shared-
+		// signature invariant is a content property covered by the file's
+		// checksum, not re-proved per edge here.
+		sig := SignatureOf(h.edges[fp.Edges[0]], h.labels)
+		id, ok := h.sigTab.lookup(0, sig)
+		if !ok {
+			id, _ = h.sigTab.intern(0, sig)
+		}
+		p := &Partition{
+			Sig:       h.Sig(id),
+			SigID:     id,
+			EdgeLabel: fp.EdgeLabel,
+			Edges:     fp.Edges,
+		}
+		p.setCSR(fp.Verts, fp.Offsets, fp.Posts)
+		if len(fp.Bms) > 0 {
+			p.ranks, p.bmIdx, p.bms = fp.Ranks, fp.BmIdx, fp.Bms
+		}
+		h.partitions = append(h.partitions, p)
+	}
+	h.sigTab.compact()
+	return h, h.buildPartitionLookups()
+}
+
+// buildPartitionLookups (re)derives the SigID→partition and
+// (edge label, SigID)→partition tables from h.partitions; shared by
+// Assemble and AdoptForeign.
+func (h *Hypergraph) buildPartitionLookups() error {
+	h.sigParts = make([]int32, h.sigTab.len())
+	for i := range h.sigParts {
+		h.sigParts[i] = -1
+	}
+	h.labelledParts = nil
+	for pi, p := range h.partitions {
+		if p.EdgeLabel == NoEdgeLabel {
+			if h.sigParts[p.SigID] >= 0 {
+				return fmt.Errorf("hypergraph: two partitions share signature %v", p.Sig)
+			}
+			h.sigParts[p.SigID] = int32(pi)
+		} else {
+			if h.labelledParts == nil {
+				h.labelledParts = make(map[uint64]int32)
+			}
+			key := uint64(p.EdgeLabel)<<32 | uint64(p.SigID)
+			if _, dup := h.labelledParts[key]; dup {
+				return fmt.Errorf("hypergraph: two partitions share (label %d, signature %v)", p.EdgeLabel, p.Sig)
+			}
+			h.labelledParts[key] = int32(pi)
+		}
+	}
+	return nil
+}

@@ -145,28 +145,7 @@ func (h *Hypergraph) adoptPartitions(parts []RawPartition) error {
 	h.sigTab.compact()
 
 	// Lookup tables: SigID -> partition, (edge label, SigID) -> partition.
-	h.sigParts = make([]int32, h.sigTab.len())
-	for i := range h.sigParts {
-		h.sigParts[i] = -1
-	}
-	for pi, p := range h.partitions {
-		if p.EdgeLabel == NoEdgeLabel {
-			if h.sigParts[p.SigID] >= 0 {
-				return fmt.Errorf("hypergraph: two partitions share signature %v", p.Sig)
-			}
-			h.sigParts[p.SigID] = int32(pi)
-		} else {
-			if h.labelledParts == nil {
-				h.labelledParts = make(map[uint64]int32)
-			}
-			key := uint64(p.EdgeLabel)<<32 | uint64(p.SigID)
-			if _, dup := h.labelledParts[key]; dup {
-				return fmt.Errorf("hypergraph: two partitions share (label %d, signature %v)", p.EdgeLabel, p.Sig)
-			}
-			h.labelledParts[key] = int32(pi)
-		}
-	}
-	return nil
+	return h.buildPartitionLookups()
 }
 
 // checkCanonicalCSR replays buildCSR's sweep over the incidence lists in

@@ -340,6 +340,19 @@ func (p *Partition) TableBytes(h *Hypergraph) int {
 	return total
 }
 
+// BaseCSR exposes the base segment's flat CSR arrays (vertex dictionary,
+// offsets, postings) for serialisation. Callers must not mutate them.
+func (p *Partition) BaseCSR() (verts []VertexID, offsets []uint32, posts []EdgeID) {
+	return p.verts, p.offsets, p.posts
+}
+
+// BitmapSidecar exposes the bitmap sidecar's raw structures (rank table,
+// per-vertex container index, containers) for serialisation; all three are
+// empty without a sidecar. Callers must not mutate them.
+func (p *Partition) BitmapSidecar() (ranks setops.RankTable, bmIdx []int32, bms []setops.Bitmap) {
+	return p.ranks, p.bmIdx, p.bms
+}
+
 // setCSR installs a prebuilt base CSR index; used by the builder and
 // Assemble.
 func (p *Partition) setCSR(verts []VertexID, offsets []uint32, posts []EdgeID) {

@@ -92,8 +92,10 @@ func (r *Registry) ReadOnlyCount() int {
 	return n
 }
 
-// Close flushes and closes every graph's WAL. The registry must not accept
-// ingest after Close.
+// Close flushes and closes every graph's WAL and drops the registry's
+// references to mapped graphs (in-flight requests holding their own
+// references keep the mappings alive until they drain). The registry must
+// not accept ingest after Close.
 func (r *Registry) Close() error {
 	r.mu.RLock()
 	entries := make([]*graphEntry, 0, len(r.graphs))
@@ -106,6 +108,18 @@ func (r *Registry) Close() error {
 		if e.dur != nil && e.dur.wal != nil {
 			if cerr := e.dur.wal.Close(); err == nil {
 				err = cerr
+			}
+		}
+		if e.managed {
+			e.tierMu.Lock()
+			m := e.mapped.Load()
+			if m != nil {
+				e.mapped.Store(nil)
+				r.resident.Add(-int64(m.FileBytes()))
+			}
+			e.tierMu.Unlock()
+			if m != nil {
+				m.Release()
 			}
 		}
 	}
@@ -203,7 +217,7 @@ func (r *Registry) addDurable(name string, cfg DurabilityConfig, seed func() (*h
 	if err != nil {
 		return fmt.Errorf("server: registering graph %q: %w", name, err)
 	}
-	e.live = live
+	e.live.Store(live)
 
 	if _, ro := e.readOnly(); !ro {
 		// StartAfter hands recovery the checkpoint's coverage mark: batches

@@ -41,7 +41,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown graph %q", name)
 		return
 	}
-	live := e.live
+	live, err := s.graphs.ensureLive(name, e)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	start := time.Now()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -303,10 +307,15 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	live, err := s.graphs.ensureLive(name, e)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	_, before, _ := s.graphs.GetVersioned(name)
 	// Counts come from the fold itself: reading them beforehand would
 	// race with a concurrent ingest and under-report.
-	nh, folded, dropped, err := s.compactGraph(name, e, e.live)
+	nh, folded, dropped, err := s.compactGraph(name, e, live)
 	if err != nil {
 		var ro errGraphReadOnly
 		if errors.As(err, &ro) {

@@ -155,6 +155,10 @@ func New(graphs *Registry, cfg Config) *Server {
 	// Replacing a graph purges its cached plans; the version in the cache
 	// key already prevents stale serving, the purge frees the old graph.
 	graphs.setOnReplace(func(name string) { s.plans.DropPrefix(GraphPrefix(name)) })
+	// Evicting (or promoting) a mapped graph purges its plans too — they
+	// hold candidate structures built over the mapping being released, and
+	// the purge is what lets the registry's munmap actually free memory.
+	graphs.setOnEvict(func(name string) { s.plans.DropPrefix(GraphPrefix(name)) })
 	return s
 }
 
@@ -236,14 +240,20 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*hgio.Ma
 // query's label IDs are aligned to the data graph's dictionary before
 // keying, so the same query text always maps to the same cache entry
 // regardless of label interning order.
-func (s *Server) plan(req *hgio.MatchRequest) (*hgmatch.Plan, bool, error) {
-	data, version, ok := s.graphs.GetVersioned(req.Graph)
-	if !ok {
-		return nil, false, errGraphNotFound
+//
+// The non-nil release returned on success pins the data graph's residency
+// for the caller: a mapped graph cannot be munmapped while a request that
+// planned against it is still running. Handlers must defer it past the
+// whole engine run, not just past planning.
+func (s *Server) plan(req *hgio.MatchRequest) (*hgmatch.Plan, bool, func(), error) {
+	data, version, release, err := s.graphs.Acquire(req.Graph)
+	if err != nil {
+		return nil, false, nil, err
 	}
 	query, err := req.ParseQuery()
 	if err != nil {
-		return nil, false, badRequestError{err}
+		release()
+		return nil, false, nil, badRequestError{err}
 	}
 	switch aligned, err := hgmatch.AlignLabels(query, data); {
 	case err == nil:
@@ -254,7 +264,8 @@ func (s *Server) plan(req *hgio.MatchRequest) (*hgmatch.Plan, bool, error) {
 		// and the text query's labels intern in first-appearance order.
 		// This is the documented contract for such graphs; fall through.
 	default:
-		return nil, false, badRequestError{err}
+		release()
+		return nil, false, nil, badRequestError{err}
 	}
 	key := Key(req.Graph, version, hgmatch.QueryKey(query))
 	p, cached, err := s.plans.GetOrCompute(key, func() (*hgmatch.Plan, error) {
@@ -267,9 +278,10 @@ func (s *Server) plan(req *hgio.MatchRequest) (*hgmatch.Plan, bool, error) {
 		return p, nil
 	})
 	if err != nil {
-		return nil, false, err
+		release()
+		return nil, false, nil, err
 	}
-	return p, cached, nil
+	return p, cached, release, nil
 }
 
 var errGraphNotFound = errors.New("server: graph not found")
@@ -387,11 +399,12 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	plan, cached, err := s.plan(req)
+	plan, cached, unpin, err := s.plan(req)
 	if err != nil {
 		writePlanError(w, req, err)
 		return
 	}
+	defer unpin() // keeps a mapped graph attached for the whole run
 	release, ok := s.admit(w, r, plan)
 	if !ok {
 		return
@@ -493,11 +506,12 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	plan, cached, err := s.plan(req)
+	plan, cached, unpin, err := s.plan(req)
 	if err != nil {
 		writePlanError(w, req, err)
 		return
 	}
+	defer unpin() // keeps a mapped graph attached for the whole run
 	release, ok := s.admit(w, r, plan)
 	if !ok {
 		return
@@ -554,6 +568,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WALEnabled:       s.graphs.Durable(),
 		ReadOnlyGraphs:   s.graphs.ReadOnlyCount(),
 	}
+	ts := s.graphs.TierStats()
+	out.GraphsResident = ts.Resident
+	out.GraphsCold = ts.Cold
+	out.ResidentBytes = ts.ResidentBytes
+	out.ResidentBudget = ts.Budget
+	out.GraphActivations = ts.Activations
+	out.GraphEvictions = ts.Evictions
+	out.GraphPromotions = ts.Promotions
 	if s.adm.cfg.Enabled {
 		out.CheapThreshold = s.adm.cfg.CheapThreshold
 		out.TenantQuota = s.adm.cfg.TenantQuota

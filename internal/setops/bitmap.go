@@ -51,6 +51,20 @@ func (b *Bitmap) Reuse(words []uint64, nbits int) {
 	b.card = -1
 }
 
+// BorrowBitmap wraps caller-owned word storage as a bitmap of the given
+// span with a precomputed cardinality (pass -1 when unknown). The mmap
+// attach path uses it to adopt persisted posting containers together with
+// their persisted cardinalities, so attaching never popcounts — or even
+// faults — the word pages. The words are adopted by reference and must not
+// be mutated while the bitmap is in use.
+func BorrowBitmap(words []uint64, nbits, card int) Bitmap {
+	return Bitmap{words: words[:WordsFor(nbits)], nbits: nbits, card: card}
+}
+
+// Words exposes the bitmap's backing words for serialisation. Callers must
+// not mutate them.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
 // Clear zeroes the bitmap.
 func (b *Bitmap) Clear() {
 	clear(b.words)

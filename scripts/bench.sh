@@ -39,12 +39,14 @@ go test -run '^$' \
 	-bench 'BenchmarkAblationSetops' \
 	-benchmem -count=1 -benchtime=10000x . | tee -a "$tmp"
 
-# The compile and load benches run at the default benchtime: their ops are
-# microseconds-to-milliseconds, so 50 iterations would be too noisy to
-# compare against the committed compile_baseline (which was recorded at
-# the default benchtime too).
+# The compile, load and mapped-open benches run at the default benchtime:
+# their ops are microseconds-to-milliseconds, so 50 iterations would be
+# too noisy to compare against the committed compile_baseline (which was
+# recorded at the default benchtime too). BenchmarkMappedOpen is the
+# tiered-residency bar: MmapAttach must stay >=10x under the heap loads,
+# and SteadyStateHeap's heap/mapped ratio >=5x.
 go test -run '^$' \
-	-bench 'BenchmarkCompile$|BenchmarkLoadFile' \
+	-bench 'BenchmarkCompile$|BenchmarkLoadFile|BenchmarkMappedOpen' \
 	-benchmem -count=3 . | tee -a "$tmp"
 
 {
