@@ -9,7 +9,7 @@
 //	        [-compact-threshold 10000] [-admission] [-tenant-quota 1000000]
 //	        [-wal-dir /var/lib/hgserve/wal] [-wal-sync batch]
 //	        [-mmap] [-resident-bytes 0] [-mmap-verify]
-//	        [-drain-timeout 10s]
+//	        [-shards 1] [-drain-timeout 10s]
 //	        name=path.hg [name2=path2.hg ...]
 //
 // Each positional argument registers one data hypergraph (text or binary
@@ -26,6 +26,16 @@
 // every attach. The first ingest into a mapped graph promotes it to an
 // ordinary heap graph. Mutually exclusive with -wal-dir (an evicted
 // mapping cannot replay online writes); see docs/OPERATIONS.md for sizing.
+//
+// With -shards N (N > 1), every registered graph is partitioned across N
+// intra-process shards by signature-partition hash; each /match and /count
+// request scatters its compiled plan across per-shard sub-runs on the
+// shared worker pool and gathers the embedding streams back into one
+// deterministic NDJSON stream, byte-identical to an unsharded server's
+// (responses carry an X-Shards header; GET /stats gains per-shard rows).
+// This is cluster mode stage 1 — one process, shard-partitioned storage —
+// and is mutually exclusive with -mmap and -wal-dir. See
+// docs/OPERATIONS.md for sizing.
 //
 // With -wal-dir set, ingest is crash-safe: every acked batch is journaled
 // to a per-graph write-ahead log under that directory before its snapshot
@@ -95,6 +105,8 @@ func main() {
 			"with -mmap, bound the summed file bytes of concurrently mapped graphs; LRU graphs are unmapped over budget (0 = unbounded)")
 		mmapVerify = flag.Bool("mmap-verify", false,
 			"with -mmap, verify each file's payload checksum on every attach (reads the whole file once)")
+		shards = flag.Int("shards", 1,
+			"partition each graph across N intra-process shards served by scatter-gather (1 = unsharded); incompatible with -mmap and -wal-dir")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
 			"how long shutdown waits for in-flight requests to drain before forcing connections closed")
 	)
@@ -108,7 +120,19 @@ func main() {
 	if *useMmap && *walDir != "" {
 		log.Fatalf("hgserve: -mmap and -wal-dir are mutually exclusive (an unmapped graph cannot replay online writes)")
 	}
+	if *shards > 1 && *useMmap {
+		log.Fatalf("hgserve: -shards and -mmap are mutually exclusive (shards are rebuilt heap graphs, not file mappings)")
+	}
+	if *shards > 1 && *walDir != "" {
+		log.Fatalf("hgserve: -shards and -wal-dir are mutually exclusive (the WAL journals the unsharded write path)")
+	}
 	reg := server.NewRegistry()
+	if *shards > 1 {
+		if err := reg.SetShards(*shards); err != nil {
+			log.Fatalf("hgserve: %v", err)
+		}
+		log.Printf("sharding on: %d intra-process shards per graph", *shards)
+	}
 	if *useMmap {
 		reg.SetResidentBudget(*residentBytes)
 		reg.SetMapVerify(*mmapVerify)

@@ -42,6 +42,7 @@ import (
 	"hgmatch/internal/engine"
 	"hgmatch/internal/hgio"
 	"hgmatch/internal/hypergraph"
+	"hgmatch/internal/shard"
 )
 
 // Hypergraph is an immutable, indexed, vertex-labelled hypergraph. Build
@@ -385,6 +386,37 @@ func (pl *Pool) Stats() PoolStats { return pl.p.Stats() }
 // calls after Close fall back to per-request workers.
 func (pl *Pool) Close() { pl.p.Close() }
 
+// ShardedGraph is a data hypergraph partitioned across N shards by
+// signature-partition hash — cluster mode, stage 1 (intra-process). Each
+// shard is a self-contained DeltaBuffer over its owned hyperedge tables;
+// ingest through the ShardedGraph routes each record to its owning shard
+// while a mirror buffer keeps the solo-identical union view that
+// Pool.RunSharded matches against. See internal/shard and the "Sharded
+// serving" section of docs/ARCHITECTURE.md.
+type ShardedGraph = shard.Graph
+
+// ShardStat reports one shard's resident volume (ShardedGraph.Stats).
+type ShardStat = shard.Stat
+
+// NewShardedGraph partitions h across n shards (n >= 1).
+func NewShardedGraph(h *Hypergraph, n int) (*ShardedGraph, error) {
+	return shard.New(h, n)
+}
+
+// RunSharded scatters the plan across g's shards on the shared pool and
+// gathers one merged result, semantically equivalent to a solo Run against
+// g.Live().Snapshot(): counts, counters and groups match exactly, and with
+// WithCallback/WithWorkerCallback or WithLimit the merged embedding stream
+// is delivered in a deterministic order that is identical for every shard
+// count. The plan must be compiled against a snapshot of g.Live().
+func (pl *Pool) RunSharded(p *Plan, g *ShardedGraph, opts ...Option) Result {
+	var eo engine.Options
+	for _, o := range opts {
+		o(&eo)
+	}
+	return wrapResult(shard.Scatter(pl.p, g, p.core, eo))
+}
+
 // Match compiles and runs in one call: it finds all subhypergraph
 // embeddings of query in data.
 func Match(query, data *Hypergraph, opts ...Option) (Result, error) {
@@ -454,4 +486,4 @@ func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
 var ErrNoDicts = hgio.ErrNoDicts
 
 // Version identifies this reproduction release.
-const Version = "1.8.0"
+const Version = "1.9.0"

@@ -18,8 +18,9 @@ import (
 func runBFS(p *core.Plan, opts Options) Result {
 	nq := p.NumSteps()
 
-	level := make([][]hypergraph.EdgeID, 0, len(p.InitialCandidates()))
-	for _, e := range p.InitialCandidates() {
+	first := seedCandidates(p, &opts)
+	level := make([][]hypergraph.EdgeID, 0, len(first))
+	for _, e := range first {
 		m := make([]hypergraph.EdgeID, 1, nq)
 		m[0] = e
 		level = append(level, m)
@@ -66,7 +67,7 @@ func runBFS(p *core.Plan, opts Options) Result {
 	w0.detach()
 	res.Embeddings = st.count.Load()
 	res.Counters = st.mergedCounters
-	res.Counters.Valid += uint64(len(p.InitialCandidates()))
+	res.Counters.Valid += uint64(len(first))
 	res.PeakTasks = peakEmb
 	res.PeakTaskBytes = peakEmb * int64(p.TaskBytes())
 	res.Groups = st.groups

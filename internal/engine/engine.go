@@ -118,6 +118,25 @@ type Options struct {
 	// request of weight 2 receives twice the morsel slots of a weight-1
 	// request while both are runnable. 0 means 1. Solo Run ignores it.
 	Weight int
+	// Scan, when non-nil, replaces the plan's full start partition as the
+	// run's SCAN seed set: only these first-hyperedge candidates are
+	// expanded. This is the sharded scatter hook (internal/shard): a
+	// coordinator splits InitialCandidates() into disjoint subsets and
+	// runs one sub-run per subset — the union of the sub-runs' embeddings
+	// is exactly the solo run's, with no overlap, because every embedding
+	// is rooted at exactly one scan candidate. The slice must be a subset
+	// of the plan's start partition and is not copied; a non-nil empty
+	// slice short-circuits the run (an empty-shard plan).
+	Scan []hypergraph.EdgeID
+}
+
+// seedCandidates resolves a run's SCAN seed set: the Scan override when
+// set, the plan's full start partition otherwise.
+func seedCandidates(p *core.Plan, opts *Options) []hypergraph.EdgeID {
+	if opts.Scan != nil {
+		return opts.Scan
+	}
+	return p.InitialCandidates()
 }
 
 // WorkerStats reports one worker's contribution; Exp-6 (Fig. 12) plots the
@@ -181,7 +200,7 @@ func Run(p *core.Plan, opts Options) Result {
 	}
 	start := time.Now()
 	var res Result
-	if p.Empty || len(p.InitialCandidates()) == 0 {
+	if p.Empty || len(seedCandidates(p, &opts)) == 0 {
 		res.Elapsed = time.Since(start)
 		return res
 	}
@@ -335,7 +354,7 @@ func newRunState(p *core.Plan, opts Options, slots int) *runState {
 		plan:   p,
 		opts:   opts,
 		nq:     p.NumSteps(),
-		first:  p.InitialCandidates(),
+		first:  seedCandidates(p, &opts),
 		deques: make([]taskQueue, slots),
 		stats:  make([]WorkerStats, slots),
 	}

@@ -129,7 +129,7 @@ func (p *Pool) Submit(plan *core.Plan, opts Options) Result {
 		return Run(plan, opts)
 	}
 	start := time.Now()
-	if plan.Empty || len(plan.InitialCandidates()) == 0 {
+	if plan.Empty || len(seedCandidates(plan, &opts)) == 0 {
 		return Result{Elapsed: time.Since(start)}
 	}
 	weight := uint64(1)

@@ -272,6 +272,76 @@ type SchedulerStats struct {
 	GraphActivations uint64 `json:"graph_activations,omitempty"`
 	GraphEvictions   uint64 `json:"graph_evictions,omitempty"`
 	GraphPromotions  uint64 `json:"graph_promotions,omitempty"`
+
+	// Sharded serving (-shards; zero/absent otherwise). ShardsConfigured
+	// is the per-graph shard count N, ScatterRequests counts /match//count
+	// requests served by scatter-gather, and ShardGraphs breaks down each
+	// graph's per-shard resident volume.
+	ShardsConfigured int               `json:"shards_configured,omitempty"`
+	ScatterRequests  uint64            `json:"scatter_requests,omitempty"`
+	ShardGraphs      []GraphShardStats `json:"shard_graphs,omitempty"`
+}
+
+// ScatterRequest is the unit of work a scatter coordinator hands one
+// shard in cluster mode. Stage 1 (intra-process, internal/shard) passes
+// the equivalent in memory; stage 2 (cross-process) serialises this type
+// so a shard server can run the sub-query and stream EmbeddingRecords
+// back through the same merge path. Seeds are SCAN candidates of the
+// shard-resident start partition — the sub-run expands only embeddings
+// rooted at them, so units from different requests never overlap.
+type ScatterRequest struct {
+	// Graph and Query identify the plan exactly as in MatchRequest; the
+	// shard compiles (or cache-hits) the same plan the coordinator did.
+	Graph string `json:"graph"`
+	Query string `json:"query"`
+	// Shard and Shards pin the placement the coordinator assumed; a
+	// receiver whose topology disagrees must reject the unit rather than
+	// silently return a subset.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Unit is this sub-run's position in the scatter (ascending unit
+	// order is the merge order); Seeds are its SCAN candidates. An empty
+	// Seeds list is an explicit empty-shard unit and must short-circuit.
+	Unit  int      `json:"unit"`
+	Seeds []uint32 `json:"seeds"`
+	// Workers/TimeoutMs bound the sub-run like MatchRequest.
+	Workers   int   `json:"workers,omitempty"`
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// ScatterSummary closes one shard's sub-run stream: the trailer the
+// coordinator folds into the gathered MatchSummary (counts summed, peaks
+// maxed, timed_out ORed). Rows must arrive sorted lexicographically by
+// edge tuple so the coordinator's unit-order concatenation reproduces the
+// stage-1 deterministic stream byte for byte.
+type ScatterSummary struct {
+	Done       bool   `json:"done"`
+	Shard      int    `json:"shard"`
+	Unit       int    `json:"unit"`
+	Embeddings uint64 `json:"embeddings"`
+	Candidates uint64 `json:"candidates"`
+	Filtered   uint64 `json:"filtered"`
+	Valid      uint64 `json:"valid"`
+	PeakTasks  int64  `json:"peak_tasks,omitempty"`
+	ElapsedUs  int64  `json:"elapsed_us"`
+	TimedOut   bool   `json:"timed_out,omitempty"`
+}
+
+// ShardStats reports one shard's resident volume inside a
+// GraphShardStats row (GET /stats on a sharded server).
+type ShardStats struct {
+	Shard        int `json:"shard"`
+	Edges        int `json:"edges"`
+	Partitions   int `json:"partitions"`
+	PendingEdges int `json:"pending_edges,omitempty"`
+	DeadEdges    int `json:"dead_edges,omitempty"`
+}
+
+// GraphShardStats is one sharded graph's per-shard breakdown in
+// SchedulerStats.ShardGraphs.
+type GraphShardStats struct {
+	Graph  string       `json:"graph"`
+	Shards []ShardStats `json:"shards"`
 }
 
 // HealthResponse is the body of GET /healthz.

@@ -58,6 +58,9 @@ func (r *Registry) EnableDurability(cfg DurabilityConfig) error {
 	if len(r.graphs) > 0 {
 		return errors.New("server: EnableDurability must precede graph registration")
 	}
+	if r.shards > 1 {
+		return errors.New("server: sharding and durability are mutually exclusive")
+	}
 	r.dur = &cfg
 	return nil
 }
@@ -93,10 +96,14 @@ func (r *Registry) ReadOnlyCount() int {
 }
 
 // Close flushes and closes every graph's WAL and drops the registry's
-// references to mapped graphs (in-flight requests holding their own
-// references keep the mappings alive until they drain). The registry must
-// not accept ingest after Close.
+// references to mapped graphs. It first drains every outstanding Acquire
+// reference: a scatter coordinator holds one acquired snapshot across a
+// whole fan-out of pool sub-runs, so releasing the mapped tier on the
+// strength of per-request Retains alone would race the fan-out's tail
+// (the PR 8 refcount path assumed one handler frame per reference). The
+// registry must not accept new requests or ingest after Close.
 func (r *Registry) Close() error {
+	r.inflight.Wait()
 	r.mu.RLock()
 	entries := make([]*graphEntry, 0, len(r.graphs))
 	for _, e := range r.graphs {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sort"
@@ -50,6 +51,18 @@ type Registry struct {
 	// checkpoint + WAL under dur.Dir and routes Add through recovery.
 	// Durability and mapped registration are mutually exclusive.
 	dur *DurabilityConfig
+	// shards, when > 1 (SetShards), partitions every graph registered
+	// after the call across that many intra-process shards; Add then
+	// builds a ShardedGraph and the match path scatters across it.
+	// Mutually exclusive with durability and mapped registration.
+	shards int
+
+	// inflight counts Acquire references not yet released. Close drains it
+	// before dropping the registry's mapped-tier references: a scatter
+	// coordinator fans one acquired snapshot out to many pool sub-runs, so
+	// the window between Acquire and release is no longer one handler's
+	// stack frame — Close must not pull mappings out from under it.
+	inflight sync.WaitGroup
 
 	budget    atomic.Int64 // resident-bytes budget for mapped graphs; 0 = unbounded
 	resident  atomic.Int64 // mapped file bytes currently attached
@@ -92,6 +105,12 @@ type graphEntry struct {
 	info        hgio.GraphInfo
 	infoVersion uint64 // combined version info was computed at; 0 = never
 
+	// sharded, when non-nil, is the graph's shard set (SetShards); live
+	// then holds sharded.Live() — the mirror buffer — so every snapshot
+	// and version path works unchanged, while ingest and matching route
+	// through the ShardedGraph.
+	sharded *hgmatch.ShardedGraph
+
 	// ingestMu serialises writers (ingest apply+journal+publish, and
 	// compaction+checkpoint+truncate), so WAL order is apply order and a
 	// checkpoint can never race the appends it is folding in. Readers
@@ -128,6 +147,87 @@ func (r *Registry) SetResidentBudget(n int64) { r.budget.Store(n) }
 // (reading the whole file once) before serving from it.
 func (r *Registry) SetMapVerify(v bool) { r.mapVerify.Store(v) }
 
+// SetShards partitions every graph registered after the call across n
+// intra-process shards (cluster mode, stage 1; see internal/shard). Call
+// it on an empty registry, before Add/LoadFile. n <= 1 is a no-op.
+// Mutually exclusive with durability (a shard set has no WAL replay
+// story yet) and with mapped registration (shards are heap-resident).
+func (r *Registry) SetShards(n int) error {
+	if n <= 1 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dur != nil {
+		return errors.New("server: sharding and durability are mutually exclusive")
+	}
+	if len(r.graphs) > 0 {
+		return errors.New("server: SetShards must precede graph registration")
+	}
+	r.shards = n
+	return nil
+}
+
+// Shards returns the configured shard count (1 = unsharded).
+func (r *Registry) Shards() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.shards <= 1 {
+		return 1
+	}
+	return r.shards
+}
+
+// Sharded returns the named graph's shard set, if the registry is sharded.
+func (r *Registry) Sharded(name string) (*hgmatch.ShardedGraph, bool) {
+	e, ok := r.entry(name)
+	if !ok || e.sharded == nil {
+		return nil, false
+	}
+	return e.sharded, true
+}
+
+// ShardStats reports every sharded graph's per-shard resident volume for
+// GET /stats, sorted by graph name.
+func (r *Registry) ShardStats() []hgio.GraphShardStats {
+	var out []hgio.GraphShardStats
+	for _, name := range r.Names() {
+		e, ok := r.entry(name)
+		if !ok || e.sharded == nil {
+			continue
+		}
+		row := hgio.GraphShardStats{Graph: name}
+		for _, s := range e.sharded.Stats() {
+			row.Shards = append(row.Shards, hgio.ShardStats{
+				Shard:        s.Shard,
+				Edges:        s.Edges,
+				Partitions:   s.Partitions,
+				PendingEdges: s.PendingEdges,
+				DeadEdges:    s.DeadEdges,
+			})
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// track registers one in-flight snapshot reference and wraps its release:
+// idempotent (handlers release on every path, sometimes twice under
+// defer+explicit), and counted so Close can drain scatter fan-outs before
+// tearing down the mapped tier.
+func (r *Registry) track(release func()) func() {
+	r.inflight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if release != nil {
+				release()
+			}
+			r.inflight.Done()
+		})
+	}
+}
+
 // Add registers a graph under name, replacing any previous graph of that
 // name (the replacement gets a new generation, invalidating cached plans
 // and firing the replacement hook). The graph becomes live: it accepts
@@ -141,12 +241,24 @@ func (r *Registry) Add(name string, h *hgmatch.Hypergraph) error {
 	if dur != nil {
 		return r.addDurable(name, *dur, func() (*hgmatch.Hypergraph, error) { return h, nil })
 	}
-	live, err := hgmatch.NewDeltaBuffer(h)
-	if err != nil {
-		return fmt.Errorf("server: registering graph %q: %w", name, err)
-	}
+	r.mu.RLock()
+	shards := r.shards
+	r.mu.RUnlock()
 	e := &graphEntry{}
-	e.live.Store(live)
+	if shards > 1 {
+		sg, err := hgmatch.NewShardedGraph(h, shards)
+		if err != nil {
+			return fmt.Errorf("server: registering sharded graph %q: %w", name, err)
+		}
+		e.sharded = sg
+		e.live.Store(sg.Live())
+	} else {
+		live, err := hgmatch.NewDeltaBuffer(h)
+		if err != nil {
+			return fmt.Errorf("server: registering graph %q: %w", name, err)
+		}
+		e.live.Store(live)
+	}
 	r.install(name, e)
 	return nil
 }
@@ -160,9 +272,13 @@ func (r *Registry) Add(name string, h *hgmatch.Hypergraph) error {
 func (r *Registry) RegisterMapped(name, path string) error {
 	r.mu.RLock()
 	dur := r.dur
+	shards := r.shards
 	r.mu.RUnlock()
 	if dur != nil {
 		return fmt.Errorf("server: mapped graph %q: tiered residency and durability are mutually exclusive", name)
+	}
+	if shards > 1 {
+		return fmt.Errorf("server: mapped graph %q: tiered residency and sharding are mutually exclusive", name)
 	}
 	pk, err := hgio.PeekFile(path)
 	if err != nil {
@@ -279,7 +395,7 @@ func (r *Registry) Acquire(name string) (*hgmatch.Hypergraph, uint64, func(), er
 	e.lastUsed.Store(r.clock.Add(1))
 	if live := e.live.Load(); live != nil {
 		h := live.Snapshot()
-		return h, e.version(h), func() {}, nil
+		return h, e.version(h), r.track(nil), nil
 	}
 	// Managed entry, cold or mapped. The tier mutex both serialises
 	// activation and makes Retain safe: eviction swaps the pointer out
@@ -289,7 +405,7 @@ func (r *Registry) Acquire(name string) (*hgmatch.Hypergraph, uint64, func(), er
 	if live := e.live.Load(); live != nil { // promoted while we waited
 		e.tierMu.Unlock()
 		h := live.Snapshot()
-		return h, e.version(h), func() {}, nil
+		return h, e.version(h), r.track(nil), nil
 	}
 	m := e.mapped.Load()
 	if m == nil {
@@ -302,14 +418,14 @@ func (r *Registry) Acquire(name string) (*hgmatch.Hypergraph, uint64, func(), er
 			live := e.live.Load()
 			e.tierMu.Unlock()
 			h := live.Snapshot()
-			return h, e.version(h), func() {}, nil
+			return h, e.version(h), r.track(nil), nil
 		}
 	}
 	m.Retain()
 	e.tierMu.Unlock()
 	r.maybeEvict(e)
 	h := m.Graph()
-	return h, e.version(h), func() { m.Release() }, nil
+	return h, e.version(h), r.track(func() { m.Release() }), nil
 }
 
 // activateLocked attaches the entry's file (tierMu held). On mmap/attach

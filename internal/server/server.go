@@ -52,6 +52,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hgmatch"
@@ -140,6 +141,10 @@ type Server struct {
 	// burst of over-threshold ingests schedules one fold, not one per
 	// request.
 	compacting sync.Map // graph name -> struct{}
+
+	// scatters counts /match and /count requests served by sharded
+	// scatter-gather (GET /stats).
+	scatters atomic.Uint64
 }
 
 // New returns a Server over the given registry.
@@ -267,7 +272,7 @@ func (s *Server) plan(req *hgio.MatchRequest) (*hgmatch.Plan, bool, func(), erro
 		release()
 		return nil, false, nil, badRequestError{err}
 	}
-	key := Key(req.Graph, version, hgmatch.QueryKey(query))
+	key := Key(req.Graph, version, s.graphs.Shards(), hgmatch.QueryKey(query))
 	p, cached, err := s.plans.GetOrCompute(key, func() (*hgmatch.Plan, error) {
 		p, err := hgmatch.Compile(query, data)
 		if err != nil {
@@ -411,12 +416,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	opts, _ := s.options(r, req)
+	if sg, ok := s.graphs.Sharded(req.Graph); ok {
+		s.serveShardedMatch(w, sg, plan, cached, opts)
+		return
+	}
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriter(w)
-
-	opts, _ := s.options(r, req)
 
 	type shard struct {
 		mu  sync.Mutex
@@ -499,6 +508,32 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// serveShardedMatch streams a scattered /match. The coordinator merges
+// the shard sub-runs into one deterministic embedding stream (per-unit
+// sorted, unit-order concatenated — identical for every shard count) and
+// replays it through one serialised callback, so this path needs no
+// per-worker shard buffers or background flusher: a single encoder writes
+// the merged lines in order, then the closing summary. The X-Shards
+// header reports the topology without touching the MatchSummary wire
+// shape, keeping sharded and solo bodies byte-comparable.
+func (s *Server) serveShardedMatch(w http.ResponseWriter, sg *hgmatch.ShardedGraph, plan *hgmatch.Plan, cached bool, opts []hgmatch.Option) {
+	s.scatters.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
+	w.Header().Set("X-Shards", strconv.Itoa(sg.NumShards()))
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	opts = append(opts, hgmatch.WithCallback(func(m []hgmatch.EdgeID) {
+		enc.Encode(hgio.EmbeddingRecord{Embedding: m})
+	}))
+	res := s.pool.RunSharded(plan, sg, opts...)
+	json.NewEncoder(bw).Encode(summarise(res, plan, cached))
+	bw.Flush()
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // handleCount runs the same pipeline as /match with the sink counting
 // instead of streaming; the body is a single MatchSummary.
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
@@ -518,7 +553,14 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	opts, _ := s.options(r, req)
-	res := s.pool.Run(plan, opts...)
+	var res hgmatch.Result
+	if sg, ok := s.graphs.Sharded(req.Graph); ok {
+		s.scatters.Add(1)
+		w.Header().Set("X-Shards", strconv.Itoa(sg.NumShards()))
+		res = s.pool.RunSharded(plan, sg, opts...)
+	} else {
+		res = s.pool.Run(plan, opts...)
+	}
 	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
 	writeJSON(w, summarise(res, plan, cached))
 }
@@ -579,6 +621,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.adm.cfg.Enabled {
 		out.CheapThreshold = s.adm.cfg.CheapThreshold
 		out.TenantQuota = s.adm.cfg.TenantQuota
+	}
+	if n := s.graphs.Shards(); n > 1 {
+		out.ShardsConfigured = n
+		out.ScatterRequests = s.scatters.Load()
+		out.ShardGraphs = s.graphs.ShardStats()
 	}
 	writeJSON(w, out)
 }

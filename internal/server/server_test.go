@@ -651,7 +651,7 @@ func BenchmarkPlanCompileVsCacheGet(b *testing.B) {
 	b.Run("cache-get", func(b *testing.B) {
 		c := NewPlanCache(8)
 		p, _ := hgmatch.Compile(query, data)
-		key := Key("fig1", 1, hgmatch.QueryKey(query))
+		key := Key("fig1", 1, 1, hgmatch.QueryKey(query))
 		c.Put(key, p)
 		for i := 0; i < b.N; i++ {
 			if _, ok := c.Get(key); !ok {

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hgmatch"
+	"hgmatch/internal/hgio"
+)
+
+// shardVariant is one deployment of the same fig1 graph: solo (shards = 1,
+// classic path) or scatter-gather across n intra-process shards.
+type shardVariant struct {
+	name string
+	n    int
+	srv  *httptest.Server
+}
+
+func newShardVariants(t *testing.T) []shardVariant {
+	t.Helper()
+	mk := func(n int) *httptest.Server {
+		h, err := hgmatch.Load(strings.NewReader(fig1DataText))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := NewRegistry()
+		if err := reg.SetShards(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Add("fig1", h); err != nil {
+			t.Fatal(err)
+		}
+		s := New(reg, Config{})
+		t.Cleanup(s.Close)
+		srv := httptest.NewServer(s.Handler())
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	return []shardVariant{
+		{"solo", 1, mk(1)},
+		{"shards-2", 2, mk(2)},
+		{"shards-4", 4, mk(4)},
+		{"shards-8", 8, mk(8)},
+	}
+}
+
+// streamRows returns a /match body's embedding lines in stream order,
+// dropping the closing summary (whose elapsed_us timing is never
+// deterministic) — the byte-identity pin is over the embedding stream.
+func streamRows(body []byte) []byte {
+	var rows [][]byte
+	for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+		if bytes.Contains(line, []byte(`"done":true`)) {
+			continue
+		}
+		rows = append(rows, line)
+	}
+	return bytes.Join(rows, []byte("\n"))
+}
+
+func shardMatch(t *testing.T, v shardVariant, req hgio.MatchRequest) []byte {
+	t.Helper()
+	resp, err := http.Post(v.srv.URL+"/match", "application/json", matchBody(t, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s /match: status %d", v.name, resp.StatusCode)
+	}
+	if v.n > 1 {
+		if got := resp.Header.Get("X-Shards"); got != strconv.Itoa(v.n) {
+			t.Fatalf("%s /match: X-Shards = %q, want %d", v.name, got, v.n)
+		}
+	} else if resp.Header.Get("X-Shards") != "" {
+		t.Fatalf("%s /match: unexpected X-Shards on the solo path", v.name)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.Bytes()
+}
+
+func shardCount(t *testing.T, v shardVariant, req hgio.MatchRequest) hgio.MatchSummary {
+	t.Helper()
+	resp, err := http.Post(v.srv.URL+"/count", "application/json", matchBody(t, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s /count: status %d", v.name, resp.StatusCode)
+	}
+	var sum hgio.MatchSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// TestShardGoldenEquivalence is the golden battery pinning the scattered
+// serving path to the solo one: /match and /count answers must agree with
+// an unsharded server's on the same graph (sorted-row equality vs solo;
+// BYTE equality across shard counts, since the merged stream order is
+// deterministic) — with and without a Limit, and again after delta ingest
+// and after compaction.
+func TestShardGoldenEquivalence(t *testing.T) {
+	variants := newShardVariants(t)
+	solo := variants[0]
+
+	check := func(stage string) {
+		t.Helper()
+		// Full /match: sharded row sets equal solo's; sharded bodies
+		// byte-identical across every N.
+		goldenSorted := sortedEmbeddings(t, shardMatch(t, solo, hgio.MatchRequest{Graph: "fig1", Query: fig1QueryText}))
+		if len(goldenSorted) == 0 {
+			t.Fatalf("%s: golden run produced no embeddings; the battery would be vacuous", stage)
+		}
+		var firstSharded []byte
+		for _, v := range variants[1:] {
+			body := shardMatch(t, v, hgio.MatchRequest{Graph: "fig1", Query: fig1QueryText})
+			if got := sortedEmbeddings(t, body); strings.Join(got, "\n") != strings.Join(goldenSorted, "\n") {
+				t.Fatalf("%s: %s rows diverge from solo:\n%v\nwant:\n%v", stage, v.name, got, goldenSorted)
+			}
+			if rows := streamRows(body); firstSharded == nil {
+				firstSharded = rows
+			} else if !bytes.Equal(rows, firstSharded) {
+				t.Fatalf("%s: %s stream not byte-identical to shards-2's:\n%s\nvs:\n%s",
+					stage, v.name, rows, firstSharded)
+			}
+		}
+		// Limited /match: the canonical first-n is shard-count-invariant,
+		// so limited bodies are byte-identical across every N and each row
+		// belongs to the full result set.
+		fullRows := make(map[string]bool)
+		for _, row := range goldenSorted {
+			fullRows[row] = true
+		}
+		var firstLimited []byte
+		for _, v := range variants[1:] {
+			body := shardMatch(t, v, hgio.MatchRequest{Graph: "fig1", Query: fig1QueryText, Limit: 1})
+			rows := sortedEmbeddings(t, body)
+			if len(rows) != 1 {
+				t.Fatalf("%s: %s limit=1 returned %d rows", stage, v.name, len(rows))
+			}
+			if !fullRows[rows[0]] {
+				t.Fatalf("%s: %s limit=1 row %s not in the full result set", stage, v.name, rows[0])
+			}
+			if rows := streamRows(body); firstLimited == nil {
+				firstLimited = rows
+			} else if !bytes.Equal(rows, firstLimited) {
+				t.Fatalf("%s: %s limited stream diverges across shard counts", stage, v.name)
+			}
+		}
+		// /count.
+		want := shardCount(t, solo, hgio.MatchRequest{Graph: "fig1", Query: fig1QueryText})
+		for _, v := range variants[1:] {
+			got := shardCount(t, v, hgio.MatchRequest{Graph: "fig1", Query: fig1QueryText})
+			if got.Embeddings != want.Embeddings {
+				t.Fatalf("%s: %s /count = %d, solo %d", stage, v.name, got.Embeddings, want.Embeddings)
+			}
+		}
+	}
+
+	check("fresh")
+
+	// Identical delta ingest into every variant (routed to the owning
+	// shard on the sharded ones); answers must stay pinned together.
+	for _, v := range variants {
+		resp, err := http.Post(v.srv.URL+"/graphs/fig1/edges", "application/x-ndjson",
+			strings.NewReader(`{"op":"insert","vertices":[0,3]}`+"\n"+`{"op":"insert","vertices":[2,4,6]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s ingest: status %d", v.name, resp.StatusCode)
+		}
+	}
+	check("post-ingest")
+
+	// Compaction folds every shard then the mirror; still pinned.
+	for _, v := range variants {
+		resp, err := http.Post(v.srv.URL+"/graphs/fig1/compact", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s compact: status %d", v.name, resp.StatusCode)
+		}
+	}
+	check("post-compact")
+}
+
+// TestShardStatsEndpoint checks GET /stats reports the shard topology,
+// the scatter counter and per-shard residency rows on a sharded server.
+func TestShardStatsEndpoint(t *testing.T) {
+	h, _ := hgmatch.Load(strings.NewReader(fig1DataText))
+	reg := NewRegistry()
+	if err := reg.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	reg.Add("fig1", h)
+	s := New(reg, Config{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/count", "application/json",
+		matchBody(t, hgio.MatchRequest{Graph: "fig1", Query: fig1QueryText}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats hgio.SchedulerStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsConfigured != 4 {
+		t.Fatalf("shards_configured = %d, want 4", stats.ShardsConfigured)
+	}
+	if stats.ScatterRequests == 0 {
+		t.Fatal("scatter_requests = 0 after a sharded /count")
+	}
+	if len(stats.ShardGraphs) != 1 || stats.ShardGraphs[0].Graph != "fig1" {
+		t.Fatalf("shard_graphs = %+v", stats.ShardGraphs)
+	}
+	rows := stats.ShardGraphs[0].Shards
+	if len(rows) != 4 {
+		t.Fatalf("%d shard rows, want 4", len(rows))
+	}
+	edges := 0
+	for _, row := range rows {
+		edges += row.Edges
+	}
+	if edges != 6 { // fig1 has 6 hyperedges
+		t.Fatalf("shard rows sum to %d edges, want 6", edges)
+	}
+}
+
+// TestShardSetShardsExclusions pins the configuration matrix: sharding
+// cannot combine with durability or tiered residency, and must precede
+// registration.
+func TestShardSetShardsExclusions(t *testing.T) {
+	h, _ := hgmatch.Load(strings.NewReader(fig1DataText))
+	reg := NewRegistry()
+	reg.Add("fig1", h)
+	if err := reg.SetShards(2); err == nil {
+		t.Fatal("SetShards after registration succeeded")
+	}
+	reg2 := NewRegistry()
+	if err := reg2.EnableDurability(DurabilityConfig{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg2.SetShards(2); err == nil {
+		t.Fatal("SetShards with durability on succeeded")
+	}
+	reg3 := NewRegistry()
+	if err := reg3.SetShards(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg3.EnableDurability(DurabilityConfig{Dir: t.TempDir()}); err == nil {
+		t.Fatal("EnableDurability with sharding on succeeded")
+	}
+	if err := reg3.RegisterMapped("g", "nope.hgb3"); err == nil {
+		t.Fatal("RegisterMapped with sharding on succeeded")
+	}
+}
+
+// TestShardRegistryCloseDrainsInflight pins the PR 9 Close-ordering fix: a
+// scatter coordinator holds its Acquire reference across many pool
+// sub-runs, so Close must block until every reference is released before
+// tearing down the registry's residency state.
+func TestShardRegistryCloseDrainsInflight(t *testing.T) {
+	h, _ := hgmatch.Load(strings.NewReader(fig1DataText))
+	reg := NewRegistry()
+	reg.Add("fig1", h)
+	_, _, release, err := reg.Acquire("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		reg.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while an Acquire reference was outstanding")
+	case <-time.After(30 * time.Millisecond):
+	}
+	release()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close still blocked after the last reference was released")
+	}
+	// Releases are idempotent: a handler's defer after an explicit release
+	// must not panic or double-count.
+	release()
+}
+
+// TestShardPlanCacheKeyTopology: the shard count is part of the plan-cache
+// key, so a re-sharded deployment can never serve a plan scattered under a
+// different topology.
+func TestShardPlanCacheKeyTopology(t *testing.T) {
+	if Key("g", 1, 1, "q") == Key("g", 1, 2, "q") {
+		t.Fatal("plan-cache keys collide across shard topologies")
+	}
+	if Key("g", 1, 0, "q") != Key("g", 1, 1, "q") {
+		t.Fatal("shards<1 must normalise to the solo topology key")
+	}
+}

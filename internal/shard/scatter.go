@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"hgmatch/internal/core"
+	"hgmatch/internal/engine"
+	"hgmatch/internal/hypergraph"
+)
+
+// unitEdges is the scatter granularity: how many SCAN candidates one
+// sub-run seeds. Unit boundaries depend only on the scan order, never on
+// the shard count, so the merged stream — per-unit sorted rows
+// concatenated in ascending unit order — is byte-identical for every N
+// (the golden battery's cross-shard-count pin). 1024 seeds amortise a
+// Pool.Submit round-trip over thousands of expansions while still
+// yielding enough units to overlap on the pool.
+const unitEdges = 1024
+
+// emptyScan is the explicit empty seed set submitted for shards that own
+// no SCAN candidate. A plan's whole start partition shares one signature
+// table, so exactly one shard owns every seed; the other N-1 sub-runs
+// must short-circuit without touching the engine — submitting them
+// explicitly (rather than skipping) keeps that property exercised on
+// every scattered request, not just in tests.
+var emptyScan = []hypergraph.EdgeID{}
+
+// Scatter fans one compiled plan out across g's shards on the shared pool
+// and gathers one merged Result, semantically equivalent to a solo
+// pool.Submit(p, opts) against the mirror:
+//
+//   - The owning shard's SCAN candidates are split into unitEdges-sized
+//     units, each submitted as its own sub-run (Options.Scan); every
+//     embedding is rooted at exactly one seed, so the union is exact.
+//     Non-owner shards get explicit empty sub-runs that short-circuit.
+//   - Counters, per-worker stats and LeakedBlocks are summed across
+//     sub-runs; PeakTasks/PeakTaskBytes take the max (units run
+//     back-to-back, not stacked); TimedOut ORs.
+//   - With callbacks or a Limit the per-unit embeddings are buffered,
+//     sorted within the unit, and concatenated in unit order — a
+//     deterministic total order — before callbacks run serially
+//     post-merge (OnEmbeddingWorker sees worker index 0). Under a Limit,
+//     units run sequentially with early stop once the kept set reaches n;
+//     the kept set is the canonical first n, identical for every shard
+//     count, and Groups are recomputed from it. Without either, sub-runs
+//     stream nothing and Groups merge by key sum.
+//
+// opts.Timeout is converted to a context deadline shared by all sub-runs
+// (a per-sub-run timeout would restart the clock on every unit).
+func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) engine.Result {
+	start := time.Now()
+	scan := opts.Scan
+	if scan == nil && !p.Empty {
+		scan = p.InitialCandidates()
+	}
+	var res engine.Result
+	if p.Empty || len(scan) == 0 {
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	ctx := opts.Context
+	if opts.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+
+	// Every seed comes from the plan's start partition — one signature
+	// table — so one shard owns the entire scan.
+	owner := g.OwnerOf(p.Data, scan[0])
+	for s := 0; s < g.n; s++ {
+		if s == owner {
+			continue
+		}
+		sub := opts
+		sub.Scan = emptyScan
+		sub.Timeout, sub.Context = 0, ctx
+		sub.OnEmbedding, sub.OnEmbeddingWorker = nil, nil
+		mergeResult(&res, pool.Submit(p, sub))
+	}
+
+	units := make([][]hypergraph.EdgeID, 0, (len(scan)+unitEdges-1)/unitEdges)
+	for lo := 0; lo < len(scan); lo += unitEdges {
+		hi := lo + unitEdges
+		if hi > len(scan) {
+			hi = len(scan)
+		}
+		units = append(units, scan[lo:hi])
+	}
+
+	buffered := opts.Limit > 0 || opts.OnEmbedding != nil || opts.OnEmbeddingWorker != nil
+	var kept [][]hypergraph.EdgeID
+
+	if opts.Limit > 0 {
+		// Sequential with early stop: each unit is fully enumerated, so
+		// the accumulated prefix is the canonical first-n regardless of
+		// how many units (or shards) the run was split into.
+		for _, u := range units {
+			if ctxDone(ctx) {
+				res.TimedOut = true
+				break
+			}
+			sub, rows := runUnit(pool, p, &opts, u, true)
+			mergeResult(&res, sub)
+			kept = append(kept, rows...)
+			if uint64(len(kept)) >= opts.Limit {
+				break
+			}
+		}
+		if uint64(len(kept)) > opts.Limit {
+			kept = kept[:opts.Limit]
+		}
+	} else {
+		// Bounded fan-out: at most Workers() units in flight, so the
+		// pool's active-request list stays O(workers) however large the
+		// scan is.
+		type unitOut struct {
+			res  engine.Result
+			rows [][]hypergraph.EdgeID
+		}
+		outs := make([]unitOut, len(units))
+		next := make(chan int, len(units))
+		for i := range units {
+			next <- i
+		}
+		close(next)
+		par := pool.Workers()
+		if par > len(units) {
+			par = len(units)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					r, rows := runUnit(pool, p, &opts, units[i], buffered)
+					outs[i] = unitOut{res: r, rows: rows}
+				}
+			}()
+		}
+		wg.Wait()
+		for _, o := range outs {
+			mergeResult(&res, o.res)
+			res.Embeddings += o.res.Embeddings
+			mergeGroups(&res, o.res.Groups)
+			if buffered {
+				kept = append(kept, o.rows...)
+			}
+		}
+	}
+
+	if buffered {
+		res.Embeddings = uint64(len(kept))
+		if opts.Limit > 0 && opts.Aggregate != nil {
+			groups := make(map[string]uint64, 16)
+			for _, m := range kept {
+				groups[opts.Aggregate(m)]++
+			}
+			res.Groups = groups
+		}
+		// Gather: callbacks replay the merged stream serially in its
+		// deterministic order. Worker index 0 — the gather phase is one
+		// logical consumer, whatever parallelism produced the rows.
+		for _, m := range kept {
+			if opts.OnEmbeddingWorker != nil {
+				opts.OnEmbeddingWorker(0, m)
+			}
+			if opts.OnEmbedding != nil {
+				opts.OnEmbedding(m)
+			}
+		}
+	}
+	res.TimedOut = res.TimedOut || ctxDone(ctx)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// runUnit submits one unit's sub-run. With buffering it swaps the caller's
+// callbacks for a per-worker collector and returns the unit's rows sorted
+// lexicographically; sub-run Limit and (under a coordinator Limit)
+// Aggregate are stripped, since truncation and group recount happen on the
+// merged stream.
+func runUnit(pool *engine.Pool, p *core.Plan, opts *engine.Options, unit []hypergraph.EdgeID, buffered bool) (engine.Result, [][]hypergraph.EdgeID) {
+	sub := *opts
+	sub.Scan = unit
+	sub.Timeout = 0 // already converted to sub.Context by Scatter
+	if !buffered {
+		return pool.Submit(p, sub), nil
+	}
+	sub.Limit = 0
+	sub.OnEmbedding = nil
+	if opts.Limit > 0 {
+		sub.Aggregate = nil
+	}
+	per := make([][][]hypergraph.EdgeID, pool.Workers())
+	sub.OnEmbeddingWorker = func(w int, m []hypergraph.EdgeID) {
+		per[w] = append(per[w], append([]hypergraph.EdgeID(nil), m...))
+	}
+	r := pool.Submit(p, sub)
+	var rows [][]hypergraph.EdgeID
+	for _, ws := range per {
+		rows = append(rows, ws...)
+	}
+	sortRows(rows)
+	return r, rows
+}
+
+// mergeResult folds one sub-run's stats into the gathered result.
+// Embeddings and Groups are intentionally NOT merged here — their
+// semantics differ between the buffered and streaming paths, so Scatter
+// owns them.
+func mergeResult(dst *engine.Result, sub engine.Result) {
+	dst.Counters.Add(sub.Counters)
+	for len(dst.Workers) < len(sub.Workers) {
+		dst.Workers = append(dst.Workers, engine.WorkerStats{})
+	}
+	for i, ws := range sub.Workers {
+		dst.Workers[i].Tasks += ws.Tasks
+		dst.Workers[i].Spawned += ws.Spawned
+		dst.Workers[i].Steals += ws.Steals
+		dst.Workers[i].Stolen += ws.Stolen
+		dst.Workers[i].BusyTime += ws.BusyTime
+		dst.Workers[i].SinkCount += ws.SinkCount
+	}
+	if sub.PeakTasks > dst.PeakTasks {
+		dst.PeakTasks = sub.PeakTasks
+	}
+	if sub.PeakTaskBytes > dst.PeakTaskBytes {
+		dst.PeakTaskBytes = sub.PeakTaskBytes
+	}
+	dst.TimedOut = dst.TimedOut || sub.TimedOut
+	dst.LeakedBlocks += sub.LeakedBlocks
+}
+
+// mergeGroups key-sums a sub-run's AGGREGATE output (streaming path only).
+func mergeGroups(dst *engine.Result, groups map[string]uint64) {
+	if len(groups) == 0 {
+		return
+	}
+	if dst.Groups == nil {
+		dst.Groups = make(map[string]uint64, len(groups))
+	}
+	for k, v := range groups {
+		dst.Groups[k] += v
+	}
+}
+
+// sortRows orders embeddings lexicographically by edge ID tuple.
+func sortRows(rows [][]hypergraph.EdgeID) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+func ctxDone(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

@@ -20,7 +20,7 @@ if [ -f "$out" ]; then
 fi
 
 go test -run '^$' \
-	-bench 'BenchmarkKernelQ3|BenchmarkSharedPoolQ3|BenchmarkFig8SingleThread/HGMatch|BenchmarkFig11Scheduling|BenchmarkAblationDeque|BenchmarkPublicAPI|BenchmarkOnlineIngest' \
+	-bench 'BenchmarkKernelQ3|BenchmarkSharedPoolQ3|BenchmarkShardedScatterQ3|BenchmarkFig8SingleThread/HGMatch|BenchmarkFig11Scheduling|BenchmarkAblationDeque|BenchmarkPublicAPI|BenchmarkOnlineIngest' \
 	-benchmem -count=3 -benchtime=50x . | tee "$tmp"
 
 # The durability tax on the serving path: one 100-record ingest request
