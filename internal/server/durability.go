@@ -96,13 +96,21 @@ func (r *Registry) ReadOnlyCount() int {
 }
 
 // Close flushes and closes every graph's WAL and drops the registry's
-// references to mapped graphs. It first drains every outstanding Acquire
-// reference: a scatter coordinator holds one acquired snapshot across a
-// whole fan-out of pool sub-runs, so releasing the mapped tier on the
-// strength of per-request Retains alone would race the fan-out's tail
-// (the PR 8 refcount path assumed one handler frame per reference). The
-// registry must not accept new requests or ingest after Close.
+// references to mapped graphs. It first marks the registry closed — new
+// Acquires fail with errRegistryClosed from that point on, which is what
+// makes the drain sound: an Acquire racing Close could otherwise Add to
+// the inflight WaitGroup after Wait saw zero (WaitGroup reuse panic) or
+// take a reference the teardown below would unmap anyway. It then drains
+// every outstanding Acquire reference: a scatter coordinator holds one
+// acquired snapshot across a whole fan-out of pool sub-runs, so releasing
+// the mapped tier on the strength of per-request Retains alone would race
+// the fan-out's tail (the PR 8 refcount path assumed one handler frame
+// per reference). Ingest must still be quiesced by the caller before
+// Close.
 func (r *Registry) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
 	r.inflight.Wait()
 	r.mu.RLock()
 	entries := make([]*graphEntry, 0, len(r.graphs))

@@ -62,7 +62,12 @@ type Registry struct {
 	// coordinator fans one acquired snapshot out to many pool sub-runs, so
 	// the window between Acquire and release is no longer one handler's
 	// stack frame — Close must not pull mappings out from under it.
+	// closed (guarded by mu) fails new Acquires once Close begins, so the
+	// drain can never race a fresh inflight.Add against inflight.Wait
+	// (WaitGroup reuse panic) or hand out a mapping Close is about to
+	// release.
 	inflight sync.WaitGroup
+	closed   bool
 
 	budget    atomic.Int64 // resident-bytes budget for mapped graphs; 0 = unbounded
 	resident  atomic.Int64 // mapped file bytes currently attached
@@ -211,12 +216,27 @@ func (r *Registry) ShardStats() []hgio.GraphShardStats {
 	return out
 }
 
+// errRegistryClosed rejects Acquire once Close has begun draining; the
+// server maps it to 503 (shutting down), not 404.
+var errRegistryClosed = errors.New("server: registry closed")
+
 // track registers one in-flight snapshot reference and wraps its release:
 // idempotent (handlers release on every path, sometimes twice under
 // defer+explicit), and counted so Close can drain scatter fan-outs before
-// tearing down the mapped tier.
-func (r *Registry) track(release func()) func() {
+// tearing down the mapped tier. The Add happens under the registry lock
+// with the closed flag checked: Close flips the flag under the write lock
+// before it calls inflight.Wait, so every Add either strictly precedes the
+// drain or is refused — a reference can never slip in behind it.
+// track does NOT call release on failure; the caller still owns whatever
+// the reference pins.
+func (r *Registry) track(release func()) (func(), error) {
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		return nil, errRegistryClosed
+	}
 	r.inflight.Add(1)
+	r.mu.RUnlock()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
@@ -225,7 +245,7 @@ func (r *Registry) track(release func()) func() {
 			}
 			r.inflight.Done()
 		})
-	}
+	}, nil
 }
 
 // Add registers a graph under name, replacing any previous graph of that
@@ -386,7 +406,9 @@ func (r *Registry) entry(name string) (*graphEntry, bool) {
 // snapshot (on every path — the release pins a mapped graph's mapping
 // against eviction for the request's lifetime). Cold graphs activate on
 // the way: the file is mapped, the budget enforced. Heap-tier graphs
-// return a no-op release.
+// return a no-op release. Once Close has begun, Acquire fails with
+// errRegistryClosed instead of handing out references the drain would
+// never see.
 func (r *Registry) Acquire(name string) (*hgmatch.Hypergraph, uint64, func(), error) {
 	e, ok := r.entry(name)
 	if !ok {
@@ -394,8 +416,12 @@ func (r *Registry) Acquire(name string) (*hgmatch.Hypergraph, uint64, func(), er
 	}
 	e.lastUsed.Store(r.clock.Add(1))
 	if live := e.live.Load(); live != nil {
+		rel, err := r.track(nil)
+		if err != nil {
+			return nil, 0, nil, err
+		}
 		h := live.Snapshot()
-		return h, e.version(h), r.track(nil), nil
+		return h, e.version(h), rel, nil
 	}
 	// Managed entry, cold or mapped. The tier mutex both serialises
 	// activation and makes Retain safe: eviction swaps the pointer out
@@ -404,8 +430,12 @@ func (r *Registry) Acquire(name string) (*hgmatch.Hypergraph, uint64, func(), er
 	e.tierMu.Lock()
 	if live := e.live.Load(); live != nil { // promoted while we waited
 		e.tierMu.Unlock()
+		rel, err := r.track(nil)
+		if err != nil {
+			return nil, 0, nil, err
+		}
 		h := live.Snapshot()
-		return h, e.version(h), r.track(nil), nil
+		return h, e.version(h), rel, nil
 	}
 	m := e.mapped.Load()
 	if m == nil {
@@ -417,15 +447,24 @@ func (r *Registry) Acquire(name string) (*hgmatch.Hypergraph, uint64, func(), er
 		if m == nil { // mmap unavailable: activateLocked fell back to heap
 			live := e.live.Load()
 			e.tierMu.Unlock()
+			rel, err := r.track(nil)
+			if err != nil {
+				return nil, 0, nil, err
+			}
 			h := live.Snapshot()
-			return h, e.version(h), r.track(nil), nil
+			return h, e.version(h), rel, nil
 		}
 	}
 	m.Retain()
 	e.tierMu.Unlock()
+	rel, err := r.track(func() { m.Release() })
+	if err != nil {
+		m.Release() // drop the request's retain; Close owns the registry's
+		return nil, 0, nil, err
+	}
 	r.maybeEvict(e)
 	h := m.Graph()
-	return h, e.version(h), r.track(func() { m.Release() }), nil
+	return h, e.version(h), rel, nil
 }
 
 // activateLocked attaches the entry's file (tierMu held). On mmap/attach

@@ -304,6 +304,8 @@ func writePlanError(w http.ResponseWriter, req *hgio.MatchRequest, err error) {
 	switch {
 	case errors.Is(err, errGraphNotFound):
 		writeError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
+	case errors.Is(err, errRegistryClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 	case errors.As(err, &bad):
 		writeError(w, http.StatusBadRequest, "%v", bad.err)
 	default:

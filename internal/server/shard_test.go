@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -310,6 +311,42 @@ func TestShardRegistryCloseDrainsInflight(t *testing.T) {
 	// Releases are idempotent: a handler's defer after an explicit release
 	// must not panic or double-count.
 	release()
+}
+
+// TestShardRegistryCloseRejectsNewAcquires pins the review fix on the PR 9
+// drain: once Close begins, new Acquires must fail (the no-requests-after-
+// Close contract is enforced, not just documented) — otherwise an Acquire
+// racing the drain could Add to the inflight WaitGroup after Wait observed
+// zero (WaitGroup reuse panic) or take a mapped reference Close is about
+// to release. The hammer loop runs under -race in CI.
+func TestShardRegistryCloseRejectsNewAcquires(t *testing.T) {
+	h, _ := hgmatch.Load(strings.NewReader(fig1DataText))
+	reg := NewRegistry()
+	reg.Add("fig1", h)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 200; j++ {
+				_, _, release, err := reg.Acquire("fig1")
+				if err != nil {
+					return // registry closed under us: the expected refusal
+				}
+				release()
+			}
+		}()
+	}
+	close(start)
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, _, _, err := reg.Acquire("fig1"); err == nil {
+		t.Fatal("Acquire after Close succeeded")
+	}
 }
 
 // TestShardPlanCacheKeyTopology: the shard count is part of the plan-cache

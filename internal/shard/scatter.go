@@ -20,6 +20,13 @@ import (
 // yielding enough units to overlap on the pool.
 const unitEdges = 1024
 
+// gatherWindow bounds, in units per concurrent lane, how far the parallel
+// gather may run ahead of the in-order flush cursor. A slow unit 0 can
+// therefore pin at most window×lanes completed units in memory — not the
+// whole run — so a sharded /match whose result set streams fine unsharded
+// cannot accumulate it wholesale under -shards.
+const gatherWindow = 2
+
 // emptyScan is the explicit empty seed set submitted for shards that own
 // no SCAN candidate. A plan's whole start partition shares one signature
 // table, so exactly one shard owns every seed; the other N-1 sub-runs
@@ -37,19 +44,28 @@ var emptyScan = []hypergraph.EdgeID{}
 //     embedding is rooted at exactly one seed, so the union is exact.
 //     Non-owner shards get explicit empty sub-runs that short-circuit.
 //   - Counters, per-worker stats and LeakedBlocks are summed across
-//     sub-runs; PeakTasks/PeakTaskBytes take the max (units run
-//     back-to-back, not stacked); TimedOut ORs.
+//     sub-runs; TimedOut ORs. PeakTasks/PeakTaskBytes merge by max on the
+//     sequential (Limit) path, where units run back-to-back; the parallel
+//     path runs up to Workers() units at once, so there the merged peak
+//     is the sum of the largest per-unit peaks across that fan-out — a
+//     conservative upper bound on the truly concurrent high-water mark.
 //   - With callbacks or a Limit the per-unit embeddings are buffered,
 //     sorted within the unit, and concatenated in unit order — a
-//     deterministic total order — before callbacks run serially
-//     post-merge (OnEmbeddingWorker sees worker index 0). Under a Limit,
+//     deterministic total order — with callbacks replayed serially in
+//     that order (OnEmbeddingWorker sees worker index 0). Under a Limit,
 //     units run sequentially with early stop once the kept set reaches n;
 //     the kept set is the canonical first n, identical for every shard
-//     count, and Groups are recomputed from it. Without either, sub-runs
-//     stream nothing and Groups merge by key sum.
+//     count, and Groups are recomputed from it. Without a Limit,
+//     completed units flush to the callbacks as soon as every earlier
+//     unit has flushed, and the gather holds at most a bounded window of
+//     completed units (gatherWindow) — it never buffers the whole run.
+//     Without callbacks or Limit, sub-runs stream nothing and Groups
+//     merge by key sum.
 //
-// opts.Timeout is converted to a context deadline shared by all sub-runs
-// (a per-sub-run timeout would restart the clock on every unit).
+// opts.Timeout is converted once into a context deadline stored back into
+// opts.Context, shared by all sub-runs (a per-sub-run timeout would
+// restart the clock on every unit); between units both paths stop
+// scheduling new sub-runs once the deadline passes.
 func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) engine.Result {
 	start := time.Now()
 	scan := opts.Scan
@@ -62,15 +78,19 @@ func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) eng
 		return res
 	}
 
-	ctx := opts.Context
 	if opts.Timeout > 0 {
+		ctx := opts.Context
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
+		// Store the deadline back into opts: every sub-run below copies
+		// opts, so this single assignment is what carries the bound into
+		// runUnit and the empty-shard sub-runs.
+		opts.Context, opts.Timeout = ctx, 0
 	}
+	ctx := opts.Context
 
 	// Every seed comes from the plan's start partition — one signature
 	// table — so one shard owns the entire scan.
@@ -81,7 +101,6 @@ func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) eng
 		}
 		sub := opts
 		sub.Scan = emptyScan
-		sub.Timeout, sub.Context = 0, ctx
 		sub.OnEmbedding, sub.OnEmbeddingWorker = nil, nil
 		mergeResult(&res, pool.Submit(p, sub))
 	}
@@ -95,13 +114,21 @@ func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) eng
 		units = append(units, scan[lo:hi])
 	}
 
-	buffered := opts.Limit > 0 || opts.OnEmbedding != nil || opts.OnEmbeddingWorker != nil
-	var kept [][]hypergraph.EdgeID
+	emit := func(m []hypergraph.EdgeID) {
+		if opts.OnEmbeddingWorker != nil {
+			opts.OnEmbeddingWorker(0, m)
+		}
+		if opts.OnEmbedding != nil {
+			opts.OnEmbedding(m)
+		}
+	}
 
 	if opts.Limit > 0 {
 		// Sequential with early stop: each unit is fully enumerated, so
 		// the accumulated prefix is the canonical first-n regardless of
-		// how many units (or shards) the run was split into.
+		// how many units (or shards) the run was split into. The buffer
+		// is bounded by Limit plus one unit's overshoot.
+		var kept [][]hypergraph.EdgeID
 		for _, u := range units {
 			if ctxDone(ctx) {
 				res.TimedOut = true
@@ -117,49 +144,8 @@ func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) eng
 		if uint64(len(kept)) > opts.Limit {
 			kept = kept[:opts.Limit]
 		}
-	} else {
-		// Bounded fan-out: at most Workers() units in flight, so the
-		// pool's active-request list stays O(workers) however large the
-		// scan is.
-		type unitOut struct {
-			res  engine.Result
-			rows [][]hypergraph.EdgeID
-		}
-		outs := make([]unitOut, len(units))
-		next := make(chan int, len(units))
-		for i := range units {
-			next <- i
-		}
-		close(next)
-		par := pool.Workers()
-		if par > len(units) {
-			par = len(units)
-		}
-		var wg sync.WaitGroup
-		for w := 0; w < par; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					r, rows := runUnit(pool, p, &opts, units[i], buffered)
-					outs[i] = unitOut{res: r, rows: rows}
-				}
-			}()
-		}
-		wg.Wait()
-		for _, o := range outs {
-			mergeResult(&res, o.res)
-			res.Embeddings += o.res.Embeddings
-			mergeGroups(&res, o.res.Groups)
-			if buffered {
-				kept = append(kept, o.rows...)
-			}
-		}
-	}
-
-	if buffered {
 		res.Embeddings = uint64(len(kept))
-		if opts.Limit > 0 && opts.Aggregate != nil {
+		if opts.Aggregate != nil {
 			groups := make(map[string]uint64, 16)
 			for _, m := range kept {
 				groups[opts.Aggregate(m)]++
@@ -170,17 +156,130 @@ func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) eng
 		// deterministic order. Worker index 0 — the gather phase is one
 		// logical consumer, whatever parallelism produced the rows.
 		for _, m := range kept {
-			if opts.OnEmbeddingWorker != nil {
-				opts.OnEmbeddingWorker(0, m)
-			}
-			if opts.OnEmbedding != nil {
-				opts.OnEmbedding(m)
-			}
+			emit(m)
 		}
+	} else {
+		res.TimedOut = res.TimedOut || scatterParallel(pool, p, &opts, units, &res, emit)
 	}
 	res.TimedOut = res.TimedOut || ctxDone(ctx)
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// scatterParallel runs the no-Limit path: up to pool.Workers() units in
+// flight, flushed strictly in ascending unit order as they complete. The
+// flush merges each unit's stats, streams its (already sorted) rows to the
+// caller's callbacks, and drops them — so peak gather memory is the
+// bounded run-ahead window, not the result set. Returns whether the run
+// was cut short by ctx. Invariants the flush relies on:
+//
+//   - units are claimed in ascending order, so the started set is always
+//     a contiguous prefix and the in-order cursor never stalls on a gap;
+//   - a claimed unit always runs to completion (cancellation is checked
+//     before claiming, and mid-unit cancellation is the engine's job), so
+//     every started unit's stats are eventually flushed even on abort.
+func scatterParallel(pool *engine.Pool, p *core.Plan, opts *engine.Options, units [][]hypergraph.EdgeID, res *engine.Result, emit func([]hypergraph.EdgeID)) (stopped bool) {
+	buffered := opts.OnEmbedding != nil || opts.OnEmbeddingWorker != nil
+	ctx := opts.Context
+	par := pool.Workers()
+	if par > len(units) {
+		par = len(units)
+	}
+	window := gatherWindow * par
+
+	type unitOut struct {
+		res  engine.Result
+		rows [][]hypergraph.EdgeID
+		done bool
+	}
+	outs := make([]unitOut, len(units))
+	// Per-unit peaks of everything that flushed, for the stacked-peak
+	// bound below.
+	peakTasks := make([]int64, 0, len(units))
+	peakBytes := make([]int64, 0, len(units))
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	next, flushed := 0, 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for next < len(units) && next-flushed >= window && !stopped {
+					cond.Wait()
+				}
+				if next >= len(units) || stopped {
+					mu.Unlock()
+					return
+				}
+				if ctxDone(ctx) {
+					stopped = true
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				r, rows := runUnit(pool, p, opts, units[i], buffered)
+
+				mu.Lock()
+				outs[i] = unitOut{res: r, rows: rows, done: true}
+				for flushed < len(units) && outs[flushed].done {
+					o := &outs[flushed]
+					mergeResult(res, o.res)
+					mergeGroups(res, o.res.Groups)
+					peakTasks = append(peakTasks, o.res.PeakTasks)
+					peakBytes = append(peakBytes, o.res.PeakTaskBytes)
+					if buffered {
+						res.Embeddings += uint64(len(o.rows))
+						for _, m := range o.rows {
+							emit(m)
+						}
+					} else {
+						res.Embeddings += o.res.Embeddings
+					}
+					*o = unitOut{}
+					flushed++
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// mergeResult max-merged the peaks, which is right for sequential
+	// sub-runs but under-reports here: up to par units were in flight at
+	// once, their per-unit peaks stacking. Sum the par largest per-unit
+	// peaks instead — a conservative upper bound on the concurrent
+	// high-water mark (never below the max the empty-shard sub-runs
+	// already folded in).
+	if s := topSum(peakTasks, par); s > res.PeakTasks {
+		res.PeakTasks = s
+	}
+	if s := topSum(peakBytes, par); s > res.PeakTaskBytes {
+		res.PeakTaskBytes = s
+	}
+	return stopped
+}
+
+// topSum sums the k largest values.
+func topSum(vals []int64, k int) int64 {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	if k > len(vals) {
+		k = len(vals)
+	}
+	var s int64
+	for _, v := range vals[:k] {
+		s += v
+	}
+	return s
 }
 
 // runUnit submits one unit's sub-run. With buffering it swaps the caller's
@@ -191,7 +290,6 @@ func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) eng
 func runUnit(pool *engine.Pool, p *core.Plan, opts *engine.Options, unit []hypergraph.EdgeID, buffered bool) (engine.Result, [][]hypergraph.EdgeID) {
 	sub := *opts
 	sub.Scan = unit
-	sub.Timeout = 0 // already converted to sub.Context by Scatter
 	if !buffered {
 		return pool.Submit(p, sub), nil
 	}
@@ -215,8 +313,9 @@ func runUnit(pool *engine.Pool, p *core.Plan, opts *engine.Options, unit []hyper
 
 // mergeResult folds one sub-run's stats into the gathered result.
 // Embeddings and Groups are intentionally NOT merged here — their
-// semantics differ between the buffered and streaming paths, so Scatter
-// owns them.
+// semantics differ between the buffered and streaming paths, so the
+// callers own them. Peaks merge by max, which the parallel path corrects
+// for stacking after the fact (see scatterParallel).
 func mergeResult(dst *engine.Result, sub engine.Result) {
 	dst.Counters.Add(sub.Counters)
 	for len(dst.Workers) < len(sub.Workers) {

@@ -217,6 +217,45 @@ func TestShardScatterEmptyShortCircuit(t *testing.T) {
 	}
 }
 
+// TestShardScatterTimeoutBoundsRun pins the review fix on deadline
+// propagation: Options.Timeout is converted once into a shared context
+// deadline that must reach every unit sub-run AND be checked between
+// units, so an expired deadline stops the scatter instead of letting the
+// fan-out run unbounded (the server's MaxTimeout contract). An already-
+// expired 1ns deadline must abort both the parallel and the Limit paths
+// before they enumerate the full 2500-row workload.
+func TestShardScatterTimeoutBoundsRun(t *testing.T) {
+	pool := engine.NewPool(4)
+	defer pool.Close()
+	p, h := wideWorkload(t)
+	g, err := shard.New(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := shard.Scatter(pool, g, p, engine.Options{Workers: 4, Timeout: time.Nanosecond})
+	if !res.TimedOut {
+		t.Fatal("expired deadline not reported as TimedOut")
+	}
+	if res.Embeddings >= 2500 {
+		t.Fatalf("expired deadline still enumerated the full workload (%d embeddings)", res.Embeddings)
+	}
+	if res.LeakedBlocks != 0 {
+		t.Fatalf("%d leaked blocks on the timeout path", res.LeakedBlocks)
+	}
+	res = shard.Scatter(pool, g, p, engine.Options{Workers: 4, Timeout: time.Nanosecond, Limit: 2000})
+	if !res.TimedOut {
+		t.Fatal("expired deadline not reported as TimedOut on the Limit path")
+	}
+	if res.Embeddings >= 2000 {
+		t.Fatalf("expired deadline still filled the limit (%d embeddings)", res.Embeddings)
+	}
+	// The pool must come back clean: a full-deadline run right after.
+	res = shard.Scatter(pool, g, p, engine.Options{Workers: 4, Timeout: time.Minute})
+	if res.TimedOut || res.Embeddings != 2500 {
+		t.Fatalf("post-timeout scatter: %d embeddings, timed out %v", res.Embeddings, res.TimedOut)
+	}
+}
+
 // TestShardScatterConcurrentCancel races several scattered runs against
 // cancellation at randomized points mid-scatter (including mid-merge) and
 // checks the invariant the engine promises on every abort path: zero
