@@ -10,6 +10,7 @@
 //	        [-wal-dir /var/lib/hgserve/wal] [-wal-sync batch]
 //	        [-mmap] [-resident-bytes 0] [-mmap-verify]
 //	        [-shards 1] [-drain-timeout 10s]
+//	        [-request-max-bytes 0] [-write-timeout 30s]
 //	        name=path.hg [name2=path2.hg ...]
 //
 // Each positional argument registers one data hypergraph (text or binary
@@ -53,7 +54,20 @@
 // cost estimate at or above -cheap-threshold) must fit their tenant's
 // -tenant-quota of in-flight cost or receive 429 with a retry-after;
 // tenants are identified by the X-API-Key or Authorization header. GET
-// /stats reports the pool and admission counters. Example session:
+// /stats reports the pool and admission counters.
+//
+// Serving is fault-contained: a panic inside one request's match run is
+// recovered at the task boundary and returned as a 500 with code
+// "request_poisoned" (stack logged server-side) without taking down the
+// process or other in-flight requests. -request-max-bytes caps each
+// request's engine working memory (task blocks, BFS levels, gather
+// windows); over-budget runs abort with 413 / "budget_exceeded" (0 =
+// unlimited). -write-timeout bounds each NDJSON write so a stalled reader
+// cancels only its own run and releases its admission cost (negative
+// disables). GET /healthz reports liveness; GET /readyz reports readiness
+// — false (503) while graphs load at boot and once shutdown begins, and
+// degraded detail lists graphs serving read-only. See docs/OPERATIONS.md
+// for the overload & incident runbook. Example session:
 //
 //	hgserve fig1=testdata/fig1.hg &
 //	curl -s localhost:8080/graphs
@@ -109,6 +123,10 @@ func main() {
 			"partition each graph across N intra-process shards served by scatter-gather (1 = unsharded); incompatible with -mmap and -wal-dir")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
 			"how long shutdown waits for in-flight requests to drain before forcing connections closed")
+		requestMaxBytes = flag.Int64("request-max-bytes", 0,
+			"per-request engine memory budget in bytes; over-budget runs abort with 413 budget_exceeded (0 = unlimited)")
+		writeTimeout = flag.Duration("write-timeout", 0,
+			"per-write deadline on streamed responses; a slower client has its run cancelled as slow_client (0 = default 30s, negative disables)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -152,34 +170,6 @@ func main() {
 		}
 		log.Printf("durability on: wal-dir=%s sync=%s", *walDir, policy)
 	}
-	for _, arg := range flag.Args() {
-		name, path, ok := strings.Cut(arg, "=")
-		if !ok || name == "" || path == "" {
-			log.Fatalf("hgserve: bad graph argument %q (want name=path.hg)", arg)
-		}
-		start := time.Now()
-		if *useMmap {
-			// Registration only peeks at the header; the first request maps
-			// the file. Nothing graph-sized is read at boot.
-			if err := reg.RegisterMapped(name, path); err != nil {
-				log.Fatalf("hgserve: %v", err)
-			}
-			info, _ := reg.Info(name)
-			log.Printf("registered %q cold: %d vertices, %d edges, %d file bytes (%s)",
-				name, info.NumVertices, info.NumEdges, info.FileBytes,
-				time.Since(start).Round(time.Millisecond))
-			continue
-		}
-		if err := reg.LoadFile(name, path); err != nil {
-			log.Fatalf("hgserve: %v", err)
-		}
-		h, _ := reg.Get(name)
-		log.Printf("loaded %q: %v (%s)", name, h, time.Since(start).Round(time.Millisecond))
-		if info, ok := reg.Info(name); ok && info.ReadOnly {
-			log.Printf("WARNING: %q serving READ-ONLY: %s", name, info.ReadOnlyReason)
-		}
-	}
-
 	// The operator's "0" means off; Config reserves 0 for its default.
 	if *cacheSize <= 0 {
 		*cacheSize = -1
@@ -190,6 +180,8 @@ func main() {
 		MaxTimeout:       *maxTime,
 		Workers:          *workers,
 		CompactThreshold: *compactAt,
+		RequestMaxBytes:  *requestMaxBytes,
+		WriteTimeout:     *writeTimeout,
 		Admission: server.AdmissionConfig{
 			Enabled:        *admission,
 			TenantQuota:    *tenantQuota,
@@ -198,13 +190,47 @@ func main() {
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight requests; engine
-	// runs follow their request contexts down.
+	// Bring the listener up before graph loading so orchestrators can poll
+	// /readyz through a slow boot (WAL recovery can take a while); readiness
+	// flips true only once every graph has loaded. Serve until
+	// SIGINT/SIGTERM, then drain in-flight requests; engine runs follow
+	// their request contexts down.
+	srv.SetNotReady("loading graphs")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("hgserve listening on %s (%d graphs)", *addr, reg.Len())
+	log.Printf("hgserve listening on %s, loading %d graphs (not ready)", *addr, flag.NArg())
+
+	for _, arg := range flag.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok || name == "" || path == "" {
+			fatal(srv, "hgserve: bad graph argument %q (want name=path.hg)", arg)
+		}
+		start := time.Now()
+		if *useMmap {
+			// Registration only peeks at the header; the first request maps
+			// the file. Nothing graph-sized is read at boot.
+			if err := reg.RegisterMapped(name, path); err != nil {
+				fatal(srv, "hgserve: %v", err)
+			}
+			info, _ := reg.Info(name)
+			log.Printf("registered %q cold: %d vertices, %d edges, %d file bytes (%s)",
+				name, info.NumVertices, info.NumEdges, info.FileBytes,
+				time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		if err := reg.LoadFile(name, path); err != nil {
+			fatal(srv, "hgserve: %v", err)
+		}
+		h, _ := reg.Get(name)
+		log.Printf("loaded %q: %v (%s)", name, h, time.Since(start).Round(time.Millisecond))
+		if info, ok := reg.Info(name); ok && info.ReadOnly {
+			log.Printf("WARNING: %q serving READ-ONLY: %s", name, info.ReadOnlyReason)
+		}
+	}
+	srv.SetReady()
+	log.Printf("ready: %d graphs", reg.Len())
 
 	select {
 	case err := <-errc:
@@ -218,6 +244,9 @@ func main() {
 	// Restore default signal handling: a second SIGINT/SIGTERM during the
 	// drain kills the process immediately instead of being swallowed.
 	stop()
+	// Fail /readyz first so load balancers stop routing here while the
+	// drain still answers in-flight requests.
+	srv.SetNotReady("shutting down")
 	log.Printf("shutting down (draining up to %s)", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -235,4 +264,12 @@ func main() {
 	// WAL, then drains and joins the shared worker pool (in-flight engine
 	// runs follow their contexts down).
 	srv.Close()
+}
+
+// fatal is log.Fatalf for errors after the server exists: Close releases
+// WAL locks and joins the pool before the process exits.
+func fatal(srv *server.Server, format string, args ...any) {
+	log.Printf(format, args...)
+	srv.Close()
+	os.Exit(1)
 }

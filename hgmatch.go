@@ -225,6 +225,13 @@ func (p *Plan) Empty() bool { return p.core.Empty }
 // it. Saturates at 2^62; provably empty plans cost 0.
 func (p *Plan) EstimateCost() uint64 { return p.core.EstimateCost() }
 
+// TaskBlockBytes returns the accounted in-memory size of one of the plan's
+// embedding blocks — the unit WithMaxMemory budgets in. A serving layer
+// prices a request's minimum footprint (roughly one block per worker)
+// against the configured budget before running it, so a budget no run
+// could fit in is refused upfront rather than started and aborted.
+func (p *Plan) TaskBlockBytes() int64 { return int64(engine.TaskBlockBytes(p.core)) }
+
 // Result reports a match run.
 type Result struct {
 	// Embeddings is the number of subhypergraph embeddings found.
@@ -247,6 +254,19 @@ type Result struct {
 	TimedOut bool
 	// Groups holds per-key counts when WithGroupBy was used.
 	Groups map[string]uint64
+	// Err reports a run that completed abnormally: nil on success (plain
+	// timeouts report through TimedOut instead), ErrRequestPoisoned when a
+	// worker panic was recovered and contained to this request,
+	// ErrBudgetExceeded when the run crossed WithMaxMemory, or
+	// ErrShuttingDown from a pool that is closing. Classify with
+	// errors.Is; counts in an errored Result are lower bounds.
+	Err error
+	// LeakedBlocks is the engine's block-accounting invariant check: the
+	// number of embedding blocks still accounted live at run end, always 0
+	// for a leak-free run — including cancelled, over-budget and poisoned
+	// runs. Serving layers export its running sum (GET /stats) so a leak
+	// is observable in production, not only under test.
+	LeakedBlocks int64
 }
 
 // Option configures Match / Plan.Run.
@@ -319,6 +339,26 @@ func WithGroupBy(key func(m []EdgeID) string) Option {
 	return func(o *engine.Options) { o.Aggregate = key }
 }
 
+// WithMaxMemory bounds the run's accounted memory in bytes: live embedding
+// blocks at Plan.TaskBlockBytes each, the BFS scheduler's materialised
+// levels, and a sharded run's gather window. 0 (the default) means
+// unlimited. A run that would cross the budget is aborted cooperatively
+// with Result.Err = ErrBudgetExceeded and lower-bound counts — the
+// per-request guard that keeps one runaway query from OOMing a shared
+// process (cmd/hgserve's -request-max-bytes).
+func WithMaxMemory(n int64) Option {
+	return func(o *engine.Options) { o.MaxMemory = n }
+}
+
+// WithFaultHook installs a callback invoked at the engine's instrumented
+// execution points ("task", "expand", "sink", "gather") — the fault
+// injection surface of the chaos harness, which passes hooks that panic to
+// exercise the engine's containment. fn must be safe for concurrent calls.
+// Production paths leave it unset.
+func WithFaultHook(fn func(point string)) Option {
+	return func(o *engine.Options) { o.FaultHook = fn }
+}
+
 // Run executes the plan and returns counts and stats.
 func (p *Plan) Run(opts ...Option) Result {
 	var eo engine.Options
@@ -339,6 +379,8 @@ func wrapResult(r engine.Result) Result {
 		Elapsed:       r.Elapsed,
 		TimedOut:      r.TimedOut,
 		Groups:        r.Groups,
+		Err:           r.Err,
+		LeakedBlocks:  r.LeakedBlocks,
 	}
 }
 
@@ -382,8 +424,10 @@ func (pl *Pool) Workers() int { return pl.p.Workers() }
 // Stats returns a snapshot of the pool's scheduler counters.
 func (pl *Pool) Stats() PoolStats { return pl.p.Stats() }
 
-// Close stops the pool's workers after draining in-flight requests; Run
-// calls after Close fall back to per-request workers.
+// Close stops the pool's workers after draining in-flight requests. Run
+// calls after Close are refused with Result.Err = ErrShuttingDown — a
+// draining process must not serve new work on ad-hoc workers its drain
+// never waits for.
 func (pl *Pool) Close() { pl.p.Close() }
 
 // ShardedGraph is a data hypergraph partitioned across N shards by
@@ -485,5 +529,20 @@ func AlignLabels(query, data *Hypergraph) (*Hypergraph, error) {
 // matching dictionary-less graphs compare raw numeric labels instead.
 var ErrNoDicts = hgio.ErrNoDicts
 
+// Fault-containment sentinels, re-exported for errors.Is against
+// Result.Err. See the engine package for the containment semantics.
+var (
+	// ErrRequestPoisoned: a worker panic was recovered and contained to
+	// this request; other requests on the same pool were unaffected and
+	// all of the request's blocks were returned (LeakedBlocks 0).
+	ErrRequestPoisoned = engine.ErrRequestPoisoned
+	// ErrBudgetExceeded: the run crossed its WithMaxMemory budget and was
+	// aborted cooperatively with lower-bound counts.
+	ErrBudgetExceeded = engine.ErrBudgetExceeded
+	// ErrShuttingDown: the request was refused because the serving stack
+	// (pool or registry) is draining for shutdown.
+	ErrShuttingDown = hgio.ErrShuttingDown
+)
+
 // Version identifies this reproduction release.
-const Version = "1.9.0"
+const Version = "1.10.0"

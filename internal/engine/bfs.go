@@ -40,30 +40,55 @@ func runBFS(p *core.Plan, opts Options) Result {
 		st.groups = make(map[string]uint64)
 	}
 
-	for depth := 1; depth < nq && len(level) > 0; depth++ {
-		if st.hitDeadline() {
-			res.TimedOut = true
-			break
+	// The BFS baseline's memory is its materialised level, so the budget is
+	// charged per level at the plan's per-embedding task size (the same
+	// accounting PeakTaskBytes reports) rather than in block units.
+	overBudget := func(embeddings int) bool {
+		if opts.MaxMemory <= 0 {
+			return false
 		}
-		next := parallelExpandLevel(p, st, &res, level, depth, opts.Workers)
-		level = next
-		if int64(len(level)) > peakEmb {
-			peakEmb = int64(len(level))
+		if int64(embeddings)*int64(p.TaskBytes()) > opts.MaxMemory {
+			st.exceedBudget()
+			return true
 		}
-		if st.stopped.Load() {
-			break
+		return false
+	}
+
+	if !overBudget(len(level)) {
+		for depth := 1; depth < nq && len(level) > 0; depth++ {
+			if st.hitDeadline() {
+				res.TimedOut = true
+				break
+			}
+			next := parallelExpandLevel(p, st, &res, level, depth, opts.Workers)
+			level = next
+			if int64(len(level)) > peakEmb {
+				peakEmb = int64(len(level))
+			}
+			if overBudget(len(level)) || st.stopped.Load() {
+				break
+			}
 		}
 	}
 
 	// Sink the final level (complete embeddings). The sharded sink needs a
 	// workerState even on this single-threaded tail; its local count and
-	// aggregation map are merged by detach.
+	// aggregation map are merged by detach. The recover wrapper contains a
+	// panicking sink callback: runBFS runs on the submitter's goroutine, so
+	// without it the panic would escape Run itself.
 	w0 := &workerState{id: 0, st: st, ws: &res.Workers[0]}
-	for _, m := range level {
-		if len(m) == nq {
-			st.sink(m, w0)
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				st.poison("bfs", rec)
+			}
+		}()
+		for _, m := range level {
+			if len(m) == nq {
+				st.sink(m, w0)
+			}
 		}
-	}
+	}()
 	w0.detach()
 	res.Embeddings = st.count.Load()
 	res.Counters = st.mergedCounters
@@ -72,6 +97,7 @@ func runBFS(p *core.Plan, opts Options) Result {
 	res.PeakTaskBytes = peakEmb * int64(p.TaskBytes())
 	res.Groups = st.groups
 	res.TimedOut = res.TimedOut || st.hitDeadline()
+	res.Err = st.runErr()
 	return res
 }
 
@@ -92,6 +118,14 @@ func parallelExpandLevel(p *core.Plan, st *runState, res *Result, level [][]hype
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			// Expansion runs plan kernels and (via emit) no user code, but
+			// the chaos battery injects panics here too: contain them so a
+			// BFS worker goroutine can never kill the process.
+			defer func() {
+				if rec := recover(); rec != nil {
+					st.poison("bfs", rec)
+				}
+			}()
 			sc := core.NewScratch()
 			var ct core.Counters
 			var out [][]hypergraph.EdgeID

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -128,6 +129,23 @@ type Options struct {
 	// of the plan's start partition and is not copied; a non-nil empty
 	// slice short-circuits the run (an empty-shard plan).
 	Scan []hypergraph.EdgeID
+	// MaxMemory bounds the run's accounted memory in bytes: live embedding
+	// blocks at TaskBlockBytes(plan) each (Theorem VI.1's accounting), the
+	// BFS scheduler's materialised levels, and — on a scatter — the gather
+	// window's buffered rows. 0 means unlimited. A run that would cross
+	// the budget stops cooperatively and reports ErrBudgetExceeded in
+	// Result.Err with lower-bound counts; because the check sits at block
+	// acquisition the instantaneous overshoot is bounded by one block per
+	// attached worker.
+	MaxMemory int64
+	// FaultHook, when non-nil, is called at the engine's instrumented
+	// execution points with the point's label: "task" once per scheduled
+	// task, "expand" once per block expansion, "sink" once per embedding
+	// (the scatter gather adds "gather" once per merged unit). It exists
+	// for the chaos harness (internal/hgtest): a hook that panics
+	// exercises the panic containment at exactly that boundary. Serving
+	// paths leave it nil; a nil-check per point is the only cost then.
+	FaultHook func(point string)
 }
 
 // seedCandidates resolves a run's SCAN seed set: the Scan override when
@@ -169,10 +187,18 @@ type Result struct {
 	Groups        map[string]uint64 // AGGREGATE output (nil without aggregation)
 	// LeakedBlocks is the number of embedding blocks still accounted live
 	// when the run finished. A leak-free engine always reports 0 — on every
-	// path, including cancellation and limit trims, each acquired block is
-	// released back to a worker free list before the run's last task
-	// retires. Exposed so leak-detector tests can assert the invariant.
+	// path, including cancellation, limit trims and recovered panics, each
+	// acquired block is released back to a worker free list before the
+	// run's last task retires. Exposed so leak-detector tests can assert
+	// the invariant.
 	LeakedBlocks int64
+	// Err reports a run that completed abnormally: nil on success (and on
+	// plain timeouts/cancellations, which TimedOut covers), a
+	// *PoisonedError wrapping ErrRequestPoisoned when a worker panic was
+	// recovered, ErrBudgetExceeded when the run crossed Options.MaxMemory,
+	// or ErrPoolClosed (wrapping hgio.ErrShuttingDown) from Submit on a
+	// closed pool. Counts in an errored Result are lower bounds.
+	Err error
 }
 
 // TotalTasks sums tasks executed across workers.
@@ -236,6 +262,17 @@ type runState struct {
 	stopped    atomic.Bool
 	count      atomic.Uint64
 
+	// Fault containment: the first recovered panic poisons the request
+	// (first writer wins; later panics are recovered and dropped), and a
+	// block acquisition beyond the memory budget aborts it. Both set
+	// stopped, so the existing cancellation drain — every queued task is
+	// popped, discarded and its block released — is also the fault drain.
+	poisoned  atomic.Pointer[PoisonedError]
+	budgetHit atomic.Bool
+	maxLive   int64  // live-block budget from Options.MaxMemory; valid if budgeted
+	budgeted  bool   // MaxMemory > 0
+	onPanic   func() // pool counter hook; set before workers start, may be nil
+
 	deadline  time.Time
 	hasDL     bool
 	hasCancel bool // deadline or context present
@@ -278,6 +315,14 @@ type workerState struct {
 
 	localCount uint64            // embeddings sunk (no-limit path); flushed at detach
 	groups     map[string]uint64 // per-worker AGGREGATE map; merged at detach
+
+	// held tracks the blocks this worker owns outside any deque — the
+	// popped task's block plus every partially filled block on the inline
+	// expansion stack. It mirrors acquire/release/dispatch exactly, so on
+	// a recovered panic releaseHeld can return every one of them to the
+	// free list and LeakedBlocks stays 0. LIFO discipline makes unhold a
+	// last-element pop in the common case.
+	held []*block
 
 	rowsToCancelCheck int
 
@@ -327,10 +372,17 @@ func (w *workerState) detach() {
 	w.st, w.ws, w.my = nil, nil, nil
 }
 
-// runOne executes one popped task with stop handling and stats accounting
-// (the body both the solo worker loop and the pool quantum loop share).
+// runOne executes one popped task with stop handling, panic containment and
+// stats accounting (the body both the solo worker loop and the pool quantum
+// loop share). This is the worker task boundary: a panic anywhere below —
+// kernel step, user callback, chaos hook — is recovered here, poisons only
+// this request, releases every block the worker holds, and retires the task
+// so the drain protocol (pending reaching 0) still completes.
 func (w *workerState) runOne(t task) {
 	st := w.st
+	if t.blk != nil {
+		w.hold(t.blk)
+	}
 	if st.stopped.Load() || (st.hasCancel && st.hitDeadline()) {
 		st.stopped.Store(true)
 		st.pending.Add(-1)
@@ -338,12 +390,78 @@ func (w *workerState) runOne(t task) {
 		return
 	}
 	w.openBusy()
+	defer func() {
+		if rec := recover(); rec != nil {
+			st.poison("task", rec)
+			w.releaseHeld()
+		}
+		st.pending.Add(-1)
+		if w.busyTasks++; w.busyTasks >= busyWindow {
+			w.closeBusy()
+		}
+	}()
+	if hook := st.opts.FaultHook; hook != nil {
+		hook("task")
+	}
 	st.execute(t, w)
 	w.ws.Tasks++
-	st.pending.Add(-1)
-	if w.busyTasks++; w.busyTasks >= busyWindow {
-		w.closeBusy()
+}
+
+// hold registers a block as owned by this worker outside any deque.
+func (w *workerState) hold(b *block) {
+	w.held = append(w.held, b)
+}
+
+// unhold removes a block from the held set (release or hand-off to a
+// deque). Scans backwards: block ownership is LIFO, so the match is almost
+// always the last element.
+func (w *workerState) unhold(b *block) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i] == b {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
 	}
+}
+
+// releaseHeld returns every held block to the free list — the panic-path
+// cleanup that keeps LeakedBlocks at 0 when an expansion stack unwinds
+// abnormally.
+func (w *workerState) releaseHeld() {
+	for len(w.held) > 0 {
+		w.release(w.held[len(w.held)-1])
+	}
+}
+
+// poison records the first recovered panic as the request's error and stops
+// the run; later panics (concurrently attached workers) only reinforce the
+// stop flag.
+func (st *runState) poison(point string, v any) {
+	pe := &PoisonedError{Value: v, Stack: debug.Stack(), Point: point}
+	if st.poisoned.CompareAndSwap(nil, pe) && st.onPanic != nil {
+		st.onPanic()
+	}
+	st.stopped.Store(true)
+}
+
+// exceedBudget aborts the run over Options.MaxMemory: the cooperative stop
+// drains queued work through the discard path, so all accounted memory is
+// released rather than grown.
+func (st *runState) exceedBudget() {
+	st.budgetHit.Store(true)
+	st.stopped.Store(true)
+}
+
+// runErr classifies an abnormal completion; poison outranks the budget
+// (a poisoned run may trip the budget while draining, not vice versa).
+func (st *runState) runErr() error {
+	if pe := st.poisoned.Load(); pe != nil {
+		return pe
+	}
+	if st.budgetHit.Load() {
+		return ErrBudgetExceeded
+	}
+	return nil
 }
 
 // newRunState builds one request's execution state for a worker-slot count
@@ -364,6 +482,13 @@ func newRunState(p *core.Plan, opts Options, slots int) *runState {
 	}
 	st.hasCancel = st.hasDL || opts.Context != nil
 	st.watch = st.hasCancel || opts.Limit > 0
+	if opts.MaxMemory > 0 {
+		// Budget in block units; a budget below one block still admits the
+		// run but trips on the first acquisition (maxLive 0), which is the
+		// honest outcome for a budget that cannot hold any state.
+		st.maxLive = opts.MaxMemory / int64(TaskBlockBytes(p))
+		st.budgeted = true
+	}
 	if opts.Aggregate != nil {
 		st.groups = make(map[string]uint64)
 	}
@@ -402,6 +527,7 @@ func (st *runState) result() Result {
 		TimedOut:      st.stopped.Load() && st.hitDeadline(),
 		Groups:        st.groups,
 		LeakedBlocks:  st.liveBlocks.Load(),
+		Err:           st.runErr(),
 	}
 }
 
@@ -578,11 +704,14 @@ func (st *runState) execute(t task, w *workerState) {
 // dispatch hands a filled block onward: published to the worker's deque
 // (stealable, one scheduler round-trip) only while the deque is starved,
 // otherwise expanded depth-first inline — the morsel scheduler's fast path.
+// Publishing transfers block ownership to the deque (the popper re-holds
+// it), so the block leaves this worker's held set.
 func (w *workerState) dispatch(b *block) {
 	st := w.st
 	if !st.opts.DisableStealing && w.my.size() < publishThreshold {
 		st.pending.Add(1)
 		w.ws.Spawned++
+		w.unhold(b)
 		w.my.push(task{blk: b})
 		return
 	}
@@ -598,6 +727,9 @@ func (w *workerState) dispatch(b *block) {
 // ~2·|E(q)| blocks outside its deque — the Theorem VI.1 bound in blocks.
 func (w *workerState) expandBlock(b *block) {
 	st := w.st
+	if hook := st.opts.FaultHook; hook != nil {
+		hook("expand")
+	}
 	depth := b.depth
 	sc := w.scratch(depth)
 
@@ -642,13 +774,16 @@ func (w *workerState) expandBlock(b *block) {
 
 // shouldStop polls the stop flag per row and the deadline/context every
 // cancelCheckRows rows, bounding cancellation latency inside long blocks.
+// The stop flag is checked before the watch gate: poison and budget aborts
+// can fire on any run (watch only predicts limit/deadline/ctx), and a
+// poisoned run must stop expanding promptly.
 func (w *workerState) shouldStop() bool {
 	st := w.st
-	if !st.watch {
-		return false
-	}
 	if st.stopped.Load() {
 		return true
+	}
+	if !st.watch {
+		return false
 	}
 	if st.hasCancel {
 		if w.rowsToCancelCheck--; w.rowsToCancelCheck <= 0 {
@@ -672,7 +807,9 @@ func (w *workerState) scratch(depth int) *core.Scratch {
 }
 
 // acquire takes a block from the worker's free list (or allocates one) and
-// prepares it for rows of the given depth, updating the live-block peak.
+// prepares it for rows of the given depth, updating the live-block peak and
+// charging the request's memory budget. The acquired block joins the
+// worker's held set until released or published.
 func (w *workerState) acquire(depth int) *block {
 	var b *block
 	if n := len(w.free); n > 0 {
@@ -683,15 +820,25 @@ func (w *workerState) acquire(depth int) *block {
 	}
 	b.reset(depth)
 	st := w.st
-	if cur := st.liveBlocks.Add(1); cur > st.peak.Load() {
+	cur := st.liveBlocks.Add(1)
+	if cur > st.peak.Load() {
 		st.notePeak(cur)
 	}
+	if st.budgeted && cur > st.maxLive {
+		// Over budget: stop the run. The block itself is still handed to
+		// the caller (its expansion loop re-checks shouldStop and unwinds
+		// through the normal release path), so the overshoot is bounded by
+		// one block per attached worker.
+		st.exceedBudget()
+	}
+	w.hold(b)
 	return b
 }
 
 // release returns a drained block to the free list. Stolen blocks land in
 // the thief's list — ownership follows execution, so no locking is needed.
 func (w *workerState) release(b *block) {
+	w.unhold(b)
 	w.st.liveBlocks.Add(-1)
 	if len(w.free) < maxFreeBlocks {
 		w.free = append(w.free, b)
@@ -717,6 +864,9 @@ func (st *runState) notePeak(cur int64) {
 func (st *runState) sink(m []hypergraph.EdgeID, w *workerState) {
 	if st.stopped.Load() {
 		return
+	}
+	if hook := st.opts.FaultHook; hook != nil {
+		hook("sink")
 	}
 	if st.opts.Filter != nil && !st.opts.Filter(m) {
 		return
@@ -747,8 +897,10 @@ func (st *runState) sink(m []hypergraph.EdgeID, w *workerState) {
 		st.opts.OnEmbeddingWorker(w.id, m)
 	}
 	if st.opts.OnEmbedding != nil {
+		// Deferred unlock so a panicking callback cannot wedge the sink
+		// mutex for the workers still draining this (now poisoned) run.
 		st.sinkMu.Lock()
+		defer st.sinkMu.Unlock()
 		st.opts.OnEmbedding(m)
-		st.sinkMu.Unlock()
 	}
 }

@@ -43,6 +43,7 @@ type Pool struct {
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	tasks     atomic.Uint64
+	panics    atomic.Uint64
 }
 
 // poolReq is one request registered with the pool.
@@ -65,6 +66,11 @@ type PoolStats struct {
 	Submitted uint64 // requests ever accepted by Submit
 	Completed uint64 // requests fully drained
 	Tasks     uint64 // morsel tasks executed across all requests
+	// PanicsRecovered counts requests poisoned by a recovered worker
+	// panic (one per poisoned request, not per panic — later panics on an
+	// already-poisoned request are recovered silently). A non-zero value
+	// is always a bug worth reporting; the pool survived it.
+	PanicsRecovered uint64
 }
 
 // NewPool starts a shared pool of the given size (values < 1 are clamped
@@ -92,16 +98,17 @@ func (p *Pool) Stats() PoolStats {
 	active := len(p.reqs)
 	p.mu.Unlock()
 	return PoolStats{
-		Workers:   p.workers,
-		Active:    active,
-		Submitted: p.submitted.Load(),
-		Completed: p.completed.Load(),
-		Tasks:     p.tasks.Load(),
+		Workers:         p.workers,
+		Active:          active,
+		Submitted:       p.submitted.Load(),
+		Completed:       p.completed.Load(),
+		Tasks:           p.tasks.Load(),
+		PanicsRecovered: p.panics.Load(),
 	}
 }
 
-// Close stops accepting pool execution (later Submits fall back to solo
-// Run), waits for registered requests to drain and joins the workers.
+// Close stops accepting requests (later Submits return ErrPoolClosed),
+// waits for registered requests to drain and joins the workers.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -119,11 +126,16 @@ func (p *Pool) Close() {
 // honoured with pool semantics: Workers caps how many pool workers may
 // serve the request at once (0 or oversize means all of them), Weight sets
 // the fair-share weight. The BFS scheduler and the NOSTL (DisableStealing)
-// configuration depend on owning their worker set, so they — and Submits
-// after Close — fall back to a solo Run.
+// configuration depend on owning their worker set, so they fall back to a
+// solo Run. Submit on a closed pool refuses the request with
+// Result.Err = ErrPoolClosed (which wraps hgio.ErrShuttingDown) — the same
+// shutdown sentinel the registry reports, so callers classify both alike.
 func (p *Pool) Submit(plan *core.Plan, opts Options) Result {
 	if opts.Workers <= 0 || opts.Workers > p.workers {
 		opts.Workers = p.workers
+	}
+	if p.isClosed() {
+		return Result{Err: ErrPoolClosed}
 	}
 	if opts.Scheduler == SchedulerBFS || opts.DisableStealing {
 		return Run(plan, opts)
@@ -148,11 +160,12 @@ func (p *Pool) Submit(plan *core.Plan, opts Options) Result {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return Run(plan, opts)
+		return Result{Err: ErrPoolClosed}
 	}
 	// Task queues are sized to the whole pool: any worker may serve any
 	// request, so every worker needs its own deque slot in every request.
 	st := newRunState(plan, opts, p.workers)
+	st.onPanic = func() { p.panics.Add(1) }
 	r.st = st
 	// Virtual-time normalisation: a new request starts at the minimum vt
 	// among active requests, not at zero — otherwise a newcomer would
@@ -250,6 +263,13 @@ func (p *Pool) workerLoop(id int) {
 	}
 }
 
+// isClosed reports whether Close has begun.
+func (p *Pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
 // snapshot copies the active request list under the lock.
 func (p *Pool) snapshot(buf []*poolReq) []*poolReq {
 	p.mu.Lock()
@@ -277,7 +297,7 @@ func (p *Pool) waitWork() bool {
 // finishes it; the last worker to detach from a finished request closes
 // its drained channel — after its own detach, so the submitter never
 // observes a partial merge.
-func (p *Pool) runQuantum(w *workerState, r *poolReq, rng *rand.Rand) bool {
+func (p *Pool) runQuantum(w *workerState, r *poolReq, rng *rand.Rand) (did bool) {
 	if r.finished.Load() {
 		return false
 	}
@@ -288,6 +308,28 @@ func (p *Pool) runQuantum(w *workerState, r *poolReq, rng *rand.Rand) bool {
 	st := r.st
 	w.attach(st)
 	executed := 0
+	defer p.lastOut(r)
+	defer func() {
+		if rec := recover(); rec != nil {
+			// Insurance containment: task-level panics are already
+			// recovered inside runOne, so anything arriving here escaped
+			// the task boundary (scheduler internals, the steal path).
+			// Poison the request and force-finish it so the submitter
+			// unblocks and the pool worker survives. Unlike the task-level
+			// path this cannot drain the request's still-queued blocks —
+			// they are reported as LeakedBlocks on the already-failed
+			// request — but no other request and no worker is harmed.
+			st.poison("pool", rec)
+			w.releaseHeld()
+			p.finish(r)
+			did = executed > 0
+		}
+		w.closeBusy()
+		w.detach()
+		if executed > 0 {
+			p.tasks.Add(uint64(executed))
+		}
+	}()
 	for executed < fairQuantum {
 		t, ok := w.my.pop()
 		if !ok {
@@ -311,12 +353,6 @@ func (p *Pool) runQuantum(w *workerState, r *poolReq, rng *rand.Rand) bool {
 			break
 		}
 	}
-	w.closeBusy()
-	w.detach()
-	if executed > 0 {
-		p.tasks.Add(uint64(executed))
-	}
-	p.lastOut(r)
 	return executed > 0
 }
 

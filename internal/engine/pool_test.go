@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"hgmatch/internal/core"
 	"hgmatch/internal/engine"
+	"hgmatch/internal/hgio"
 	"hgmatch/internal/hypergraph"
 )
 
@@ -189,8 +191,10 @@ func TestPoolLimitAndAggregate(t *testing.T) {
 }
 
 // TestPoolFallbacks: configurations that depend on owning their worker set
-// (BFS, NOSTL) and Submits after Close fall back to solo Run with
-// identical results.
+// (BFS, NOSTL) fall back to solo Run with identical results, while a
+// Submit after Close is refused with the shared shutdown sentinel rather
+// than served — a draining process must not run new work on fallback
+// workers.
 func TestPoolFallbacks(t *testing.T) {
 	p := morselWorkload(t, 5, 3)
 	want := engine.Run(p, engine.Options{Workers: 1}).Embeddings
@@ -203,8 +207,20 @@ func TestPoolFallbacks(t *testing.T) {
 		t.Errorf("NOSTL via pool: got %d want %d", got, want)
 	}
 	pool.Close()
-	if got := pool.Submit(p, engine.Options{}).Embeddings; got != want {
-		t.Errorf("closed-pool fallback: got %d want %d", got, want)
+	res := pool.Submit(p, engine.Options{})
+	if !errors.Is(res.Err, engine.ErrPoolClosed) {
+		t.Errorf("closed-pool Submit: got err %v, want ErrPoolClosed", res.Err)
+	}
+	if !errors.Is(res.Err, hgio.ErrShuttingDown) {
+		t.Errorf("ErrPoolClosed must wrap hgio.ErrShuttingDown; got %v", res.Err)
+	}
+	if res.Embeddings != 0 {
+		t.Errorf("closed-pool Submit returned results: %d embeddings", res.Embeddings)
+	}
+	// BFS/NOSTL fallbacks are refused too: fallback after Close would run
+	// the request on ad-hoc workers the drain never waits for.
+	if got := pool.Submit(p, engine.Options{Scheduler: engine.SchedulerBFS}); !errors.Is(got.Err, engine.ErrPoolClosed) {
+		t.Errorf("closed-pool BFS Submit: got err %v, want ErrPoolClosed", got.Err)
 	}
 }
 

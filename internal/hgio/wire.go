@@ -65,7 +65,11 @@ type EmbeddingRecord struct {
 
 // MatchSummary is the final NDJSON line of POST /match and the whole body
 // of POST /count. Done distinguishes it from EmbeddingRecords on the same
-// stream.
+// stream. When a run fails after the 200 header has been sent (memory
+// budget exceeded, recovered worker panic, shutdown mid-stream), the
+// summary doubles as the machine-readable error trailer: Error carries the
+// message and ErrorCode one of the errors.go codes, with the counts as
+// lower bounds over what was streamed before the failure.
 type MatchSummary struct {
 	Done       bool     `json:"done"`
 	Embeddings uint64   `json:"embeddings"`
@@ -76,6 +80,11 @@ type MatchSummary struct {
 	TimedOut   bool     `json:"timed_out,omitempty"`
 	PlanCached bool     `json:"plan_cached"`
 	Order      []uint32 `json:"order,omitempty"`
+	// Error/ErrorCode form the mid-stream error trailer (empty on
+	// success). A client that sees them must treat the stream as
+	// truncated, not complete.
+	Error     string `json:"error,omitempty"`
+	ErrorCode string `json:"error_code,omitempty"`
 }
 
 // GraphInfo describes one loaded data hypergraph (GET /graphs and
@@ -215,7 +224,11 @@ type CompactSummary struct {
 // (the same value travels in the Retry-After header, in seconds) and
 // EstimatedCost reports the planner estimate the request was priced at.
 type ErrorResponse struct {
-	Error         string `json:"error"`
+	Error string `json:"error"`
+	// Code classifies the failure machine-readably (errors.go:
+	// shutting_down, budget_exceeded, request_poisoned, ...); empty for
+	// plain validation errors where the status says it all.
+	Code          string `json:"code,omitempty"`
 	RetryAfterMs  int64  `json:"retry_after_ms,omitempty"`
 	EstimatedCost uint64 `json:"estimated_cost,omitempty"`
 }
@@ -256,6 +269,24 @@ type SchedulerStats struct {
 	// quarantine runbook in docs/OPERATIONS.md).
 	WALEnabled     bool `json:"wal_enabled"`
 	ReadOnlyGraphs int  `json:"read_only_graphs"`
+
+	// Fault-containment counters (cumulative since startup; see the
+	// "Overload & incident runbook" in docs/OPERATIONS.md). Every
+	// occurrence also writes a structured error log line.
+	// PanicsRecovered counts worker panics recovered and converted into
+	// per-request request_poisoned failures (alert on any increase — a
+	// recovered panic is survivable but always a bug). BudgetAborts
+	// counts runs aborted for crossing -request-max-bytes.
+	// SlowClientAborts counts runs cancelled because their connection
+	// missed a write deadline. LeakedBlocks sums Result.LeakedBlocks
+	// over all runs; the engine's invariant is that it stays 0 — any
+	// non-zero value is a leak bug worth a report.
+	PanicsRecovered  uint64 `json:"panics_recovered"`
+	BudgetAborts     uint64 `json:"budget_aborts"`
+	SlowClientAborts uint64 `json:"slow_client_aborts"`
+	LeakedBlocks     int64  `json:"leaked_blocks"`
+	// RequestMaxBytes mirrors -request-max-bytes (0 = unlimited).
+	RequestMaxBytes int64 `json:"request_max_bytes,omitempty"`
 
 	// Tiered-residency accounting (-mmap mode; zero otherwise).
 	// GraphsResident counts graphs currently attached via mmap,
@@ -342,6 +373,20 @@ type ShardStats struct {
 type GraphShardStats struct {
 	Graph  string       `json:"graph"`
 	Shards []ShardStats `json:"shards"`
+}
+
+// ReadyResponse is the body of GET /readyz: readiness for traffic, as
+// distinct from /healthz liveness. Ready is false while the process boots
+// (WAL recovery, graph registration) and again once shutdown drain has
+// begun; load balancers should route on it. A ready server may still be
+// Degraded: ReadOnlyGraphs lists graphs serving read-only (quarantined
+// WAL, failed append), which fails writes to them with 503 while reads
+// keep working.
+type ReadyResponse struct {
+	Ready          bool     `json:"ready"`
+	Reason         string   `json:"reason,omitempty"` // "booting" | "draining" when not ready
+	Degraded       bool     `json:"degraded,omitempty"`
+	ReadOnlyGraphs []string `json:"read_only_graphs,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"path"
+	"sort"
 	"strings"
 
 	"hgmatch"
@@ -84,15 +85,22 @@ func (r *Registry) Recovery(name string) (hgio.RecoveryReport, bool) {
 
 // ReadOnlyCount counts graphs currently serving read-only.
 func (r *Registry) ReadOnlyCount() int {
+	return len(r.ReadOnlyNames())
+}
+
+// ReadOnlyNames lists the graphs currently degraded to read-only serving,
+// sorted by name — the degraded detail GET /readyz reports.
+func (r *Registry) ReadOnlyNames() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	n := 0
-	for _, e := range r.graphs {
+	var names []string
+	for name, e := range r.graphs {
 		if _, ro := e.readOnly(); ro {
-			n++
+			names = append(names, name)
 		}
 	}
-	return n
+	sort.Strings(names)
+	return names
 }
 
 // Close flushes and closes every graph's WAL and drops the registry's

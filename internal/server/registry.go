@@ -217,8 +217,11 @@ func (r *Registry) ShardStats() []hgio.GraphShardStats {
 }
 
 // errRegistryClosed rejects Acquire once Close has begun draining; the
-// server maps it to 503 (shutting down), not 404.
-var errRegistryClosed = errors.New("server: registry closed")
+// server maps it to 503 (shutting down), not 404. It wraps the serving
+// stack's single shutdown sentinel, hgio.ErrShuttingDown — the same one a
+// closed engine pool reports — so handlers classify both with one
+// errors.Is and clients see one shutting_down error code for either.
+var errRegistryClosed = fmt.Errorf("server: registry closed: %w", hgio.ErrShuttingDown)
 
 // track registers one in-flight snapshot reference and wraps its release:
 // idempotent (handlers release on every path, sometimes twice under

@@ -44,6 +44,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,6 +57,7 @@ import (
 	"time"
 
 	"hgmatch"
+	"hgmatch/internal/engine"
 	"hgmatch/internal/hgio"
 )
 
@@ -104,6 +106,25 @@ type Config struct {
 	// Admission tunes the cost-based admission controller; the zero value
 	// leaves admission off (every request runs immediately).
 	Admission AdmissionConfig
+	// RequestMaxBytes bounds each request's accounted engine memory
+	// (hgmatch.WithMaxMemory): embedding blocks, BFS levels, scatter
+	// gather window. 0 disables the budget. A request whose plan cannot
+	// fit even its minimum footprint is refused upfront with 413; a run
+	// that crosses the budget mid-flight is aborted with the same
+	// budget_exceeded code. See cmd/hgserve's -request-max-bytes.
+	RequestMaxBytes int64
+	// WriteTimeout bounds each write of the NDJSON stream to the client.
+	// A connection that misses the deadline is treated as a stalled
+	// reader: the run is cancelled (releasing its admission cost and pool
+	// slots), further output is dropped, and slow_client_aborts counts
+	// it. 0 means the 30s default; negative disables deadlines.
+	WriteTimeout time.Duration
+	// FaultHook, when non-nil, is threaded into every match run
+	// (hgmatch.WithFaultHook). It exists for the chaos battery, which
+	// injects panics at the engine's instrumented points to exercise the
+	// containment end to end over real HTTP; production configs leave it
+	// nil.
+	FaultHook func(point string)
 }
 
 func (c *Config) fillDefaults() {
@@ -125,6 +146,9 @@ func (c *Config) fillDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
 }
 
 // Server is the hgserve HTTP service: a graph registry, a plan cache and
@@ -145,6 +169,20 @@ type Server struct {
 	// scatters counts /match and /count requests served by sharded
 	// scatter-gather (GET /stats).
 	scatters atomic.Uint64
+
+	// Robustness counters (GET /stats): each increments when the
+	// containment layer absorbs a fault instead of letting it take the
+	// process down, with a structured log line per occurrence.
+	panicsRecovered  atomic.Uint64 // requests poisoned by a recovered panic
+	budgetAborts     atomic.Uint64 // runs aborted over RequestMaxBytes
+	slowClientAborts atomic.Uint64 // runs cancelled on a missed write deadline
+	leakedBlocks     atomic.Int64  // cumulative engine block-accounting drift (0 = invariant holds)
+
+	// Readiness (GET /readyz): notReady carries the reason the server is
+	// not ready to take traffic ("" = ready). Boot sets "loading graphs"
+	// until recovery finishes; shutdown sets "shutting down" before the
+	// drain so load balancers stop routing here first.
+	notReady atomic.Pointer[string]
 }
 
 // New returns a Server over the given registry.
@@ -171,10 +209,20 @@ func New(graphs *Registry, cfg Config) *Server {
 // paths use it; handlers run every match through it).
 func (s *Server) Pool() *hgmatch.Pool { return s.pool }
 
+// SetNotReady marks the server not ready for traffic with a reason
+// (GET /readyz answers 503 until SetReady). cmd/hgserve sets "loading
+// graphs" before boot WAL recovery and "shutting down" before the drain.
+func (s *Server) SetNotReady(reason string) { s.notReady.Store(&reason) }
+
+// SetReady marks the server ready for traffic (GET /readyz answers 200).
+func (s *Server) SetReady() { s.notReady.Store(nil) }
+
 // Close waits for background compactions, flushes and closes every
 // graph's WAL, and drains the shared pool. The server must not serve
-// requests after Close.
+// requests after Close. Close marks the server not ready first, so a
+// /readyz probe racing the teardown reports draining rather than ok.
 func (s *Server) Close() {
+	s.SetNotReady("shutting down")
 	s.compactWG.Wait()
 	if err := s.graphs.Close(); err != nil {
 		log.Printf("server: closing graph WALs: %v", err)
@@ -200,6 +248,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /graphs/{name}/compact", s.handleCompact)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -210,9 +259,15 @@ func (s *Server) WaitCompactions() { s.compactWG.Wait() }
 
 // writeError sends a JSON error body with the given status.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErrorCode(w, status, "", format, args...)
+}
+
+// writeErrorCode sends a JSON error body with the given status and
+// machine-readable error code (hgio.Code*; empty omits the field).
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(hgio.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(hgio.ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -298,14 +353,16 @@ type badRequestError struct{ err error }
 func (e badRequestError) Error() string { return e.err.Error() }
 func (e badRequestError) Unwrap() error { return e.err }
 
-// writePlanError maps plan() failures to HTTP statuses.
+// writePlanError maps plan() failures to HTTP statuses. Shutdown is
+// classified by the shared sentinel, so a closed registry and a closed
+// pool surface the same 503/shutting_down.
 func writePlanError(w http.ResponseWriter, req *hgio.MatchRequest, err error) {
 	var bad badRequestError
 	switch {
 	case errors.Is(err, errGraphNotFound):
 		writeError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
-	case errors.Is(err, errRegistryClosed):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	case errors.Is(err, hgio.ErrShuttingDown):
+		writeErrorCode(w, http.StatusServiceUnavailable, hgio.CodeShuttingDown, "server shutting down")
 	case errors.As(err, &bad):
 		writeError(w, http.StatusBadRequest, "%v", bad.err)
 	default:
@@ -313,10 +370,29 @@ func writePlanError(w http.ResponseWriter, req *hgio.MatchRequest, err error) {
 	}
 }
 
-// options maps request fields onto engine options, always wiring in the
-// request context so client disconnects cancel the run. It also returns the
-// resolved worker count so handlers can size per-worker state.
-func (s *Server) options(r *http.Request, req *hgio.MatchRequest) ([]hgmatch.Option, int) {
+// runErrStatus maps a run's Result.Err to its HTTP status and error code.
+// ok is false for nil (success).
+func runErrStatus(err error) (status int, code string, ok bool) {
+	switch {
+	case err == nil:
+		return 0, "", false
+	case errors.Is(err, hgmatch.ErrShuttingDown):
+		return http.StatusServiceUnavailable, hgio.CodeShuttingDown, true
+	case errors.Is(err, hgmatch.ErrBudgetExceeded):
+		return http.StatusRequestEntityTooLarge, hgio.CodeBudgetExceeded, true
+	case errors.Is(err, hgmatch.ErrRequestPoisoned):
+		return http.StatusInternalServerError, hgio.CodeRequestPoisoned, true
+	default:
+		return http.StatusInternalServerError, "", true
+	}
+}
+
+// options maps request fields onto engine options, always wiring in ctx —
+// derived from the request context, so client disconnects cancel the run,
+// and cancellable by the handler itself (the slow-client guard) — plus the
+// configured per-request memory budget. It also returns the resolved
+// worker count so handlers can size per-worker state.
+func (s *Server) options(ctx context.Context, req *hgio.MatchRequest) ([]hgmatch.Option, int) {
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
 		// Clamp in milliseconds BEFORE converting: a huge timeout_ms would
@@ -344,12 +420,67 @@ func (s *Server) options(r *http.Request, req *hgio.MatchRequest) ([]hgmatch.Opt
 	if workers > s.cfg.MaxWorkers {
 		workers = s.cfg.MaxWorkers
 	}
-	return []hgmatch.Option{
-		hgmatch.WithContext(r.Context()),
+	o := []hgmatch.Option{
+		hgmatch.WithContext(ctx),
 		hgmatch.WithTimeout(timeout),
 		hgmatch.WithWorkers(workers),
 		hgmatch.WithLimit(req.Limit),
-	}, workers
+	}
+	if s.cfg.RequestMaxBytes > 0 {
+		o = append(o, hgmatch.WithMaxMemory(s.cfg.RequestMaxBytes))
+	}
+	if s.cfg.FaultHook != nil {
+		o = append(o, hgmatch.WithFaultHook(s.cfg.FaultHook))
+	}
+	return o, workers
+}
+
+// admitBudget refuses a request whose plan cannot fit even one embedding
+// block per worker inside the configured per-request memory budget — the
+// upfront half of the budget enforcement, priced alongside the admission
+// estimate so a hopeless run is never started. Returns false after writing
+// the 413.
+func (s *Server) admitBudget(w http.ResponseWriter, req *hgio.MatchRequest, plan *hgmatch.Plan) bool {
+	if s.cfg.RequestMaxBytes <= 0 {
+		return true
+	}
+	if min := plan.TaskBlockBytes(); min > s.cfg.RequestMaxBytes {
+		s.budgetAborts.Add(1)
+		log.Printf("server: budget refused upfront: graph=%q min_bytes=%d request_max_bytes=%d", req.Graph, min, s.cfg.RequestMaxBytes)
+		writeErrorCode(w, http.StatusRequestEntityTooLarge, hgio.CodeBudgetExceeded,
+			"plan needs at least %d bytes per block; request budget is %d (-request-max-bytes)", min, s.cfg.RequestMaxBytes)
+		return false
+	}
+	return true
+}
+
+// recordRun folds one run's fault telemetry into the server's cumulative
+// counters, logging a structured error line per occurrence. It returns res
+// unchanged so call sites can wrap the run expression.
+func (s *Server) recordRun(graph string, res hgmatch.Result) hgmatch.Result {
+	if res.LeakedBlocks != 0 {
+		s.leakedBlocks.Add(res.LeakedBlocks)
+		log.Printf("server: ERROR block leak: graph=%q leaked_blocks=%d (engine accounting invariant violated)", graph, res.LeakedBlocks)
+	}
+	switch {
+	case res.Err == nil:
+	case errors.Is(res.Err, hgmatch.ErrRequestPoisoned):
+		s.panicsRecovered.Add(1)
+		var pe *engine.PoisonedError
+		if errors.As(res.Err, &pe) {
+			log.Printf("server: ERROR panic recovered: graph=%q point=%s value=%v (report this)\n%s", graph, pe.Point, pe.Value, pe.Stack)
+		} else {
+			log.Printf("server: ERROR panic recovered: graph=%q err=%v (report this)", graph, res.Err)
+		}
+	case errors.Is(res.Err, hgmatch.ErrBudgetExceeded):
+		s.budgetAborts.Add(1)
+		log.Printf("server: budget abort: graph=%q request_max_bytes=%d", graph, s.cfg.RequestMaxBytes)
+	case errors.Is(res.Err, hgmatch.ErrShuttingDown):
+		// Drain-time refusal, not a fault; no counter.
+	default:
+		log.Printf("server: ERROR run failed: graph=%q err=%v", graph, res.Err)
+	}
+	return res
 }
 
 // admit prices the request at the plan's cost estimate and acquires
@@ -379,7 +510,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, plan *hgmatch.Pla
 }
 
 func summarise(res hgmatch.Result, plan *hgmatch.Plan, cached bool) hgio.MatchSummary {
-	return hgio.MatchSummary{
+	sum := hgio.MatchSummary{
 		Done:       true,
 		Embeddings: res.Embeddings,
 		Candidates: res.Candidates,
@@ -390,6 +521,72 @@ func summarise(res hgmatch.Result, plan *hgmatch.Plan, cached bool) hgio.MatchSu
 		PlanCached: cached,
 		Order:      plan.Order(),
 	}
+	if _, code, ok := runErrStatus(res.Err); ok {
+		// The NDJSON error trailer: /match has already sent its 200 and
+		// possibly a partial stream, so the summary line carries the
+		// machine-readable failure instead of a status code.
+		sum.Error = res.Err.Error()
+		sum.ErrorCode = code
+	}
+	return sum
+}
+
+// guardedWriter is the slow-client guard on an NDJSON response: every
+// write (whole lines only) runs under a deadline, and the first failed or
+// timed-out write marks the connection broken, cancels the run's context —
+// releasing its pool slots, shard units and (via the handler's defers)
+// admission cost — and drops all further output. A stalled reader
+// therefore costs one write timeout, never a pinned worker set.
+type guardedWriter struct {
+	rc      *http.ResponseController
+	bw      *bufio.Writer
+	timeout time.Duration
+	cancel  context.CancelFunc
+	onStall func(err error)
+	broken  atomic.Bool
+}
+
+func newGuardedWriter(w http.ResponseWriter, timeout time.Duration, cancel context.CancelFunc, onStall func(error)) *guardedWriter {
+	return &guardedWriter{
+		rc:      http.NewResponseController(w),
+		bw:      bufio.NewWriter(w),
+		timeout: timeout,
+		cancel:  cancel,
+		onStall: onStall,
+	}
+}
+
+// write sends p to the client and flushes it to the wire, returning false
+// once the connection is broken. Callers must serialise calls.
+func (g *guardedWriter) write(p []byte) bool {
+	if g.broken.Load() {
+		return false
+	}
+	if g.timeout > 0 {
+		// SetWriteDeadline errors are ignored: test recorders don't
+		// support deadlines, and a real connection that somehow can't set
+		// one still fails at the Write below if the client is gone.
+		g.rc.SetWriteDeadline(time.Now().Add(g.timeout))
+	}
+	_, err := g.bw.Write(p)
+	if err == nil {
+		err = g.bw.Flush()
+	}
+	if err == nil {
+		if ferr := g.rc.Flush(); ferr != nil && !errors.Is(ferr, http.ErrNotSupported) {
+			err = ferr
+		}
+	}
+	if err != nil {
+		if g.broken.CompareAndSwap(false, true) {
+			g.cancel()
+			if g.onStall != nil {
+				g.onStall(err)
+			}
+		}
+		return false
+	}
+	return true
 }
 
 // handleMatch streams every embedding as one NDJSON line, closing with a
@@ -417,17 +614,27 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	if !s.admitBudget(w, req, plan) {
+		return
+	}
 
-	opts, _ := s.options(r, req)
+	// The run's context is the request context plus the slow-client guard:
+	// a missed write deadline cancels it, which stops enumeration and (via
+	// the defers above) releases admission cost and the graph pin.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	opts, _ := s.options(ctx, req)
+	gw := newGuardedWriter(w, s.cfg.WriteTimeout, cancel, func(err error) {
+		s.slowClientAborts.Add(1)
+		log.Printf("server: slow client: graph=%q write failed (%v); run cancelled, output dropped", req.Graph, err)
+	})
 	if sg, ok := s.graphs.Sharded(req.Graph); ok {
-		s.serveShardedMatch(w, sg, plan, cached, opts)
+		s.serveShardedMatch(w, gw, req, sg, plan, cached, opts)
 		return
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
-	flusher, _ := w.(http.Flusher)
-	bw := bufio.NewWriter(w)
 
 	type shard struct {
 		mu  sync.Mutex
@@ -444,16 +651,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var wmu sync.Mutex // serialises shard drains into the response
 	// drain moves a shard's buffered lines to the response; the caller
-	// holds sh.mu (lock order: sh.mu, then wmu). Write errors (client
-	// gone) are deliberately ignored: the request context is already
-	// cancelled and WithContext stops the run.
+	// holds sh.mu (lock order: sh.mu, then wmu). The buffer is reset even
+	// when the connection is broken — the guard has already cancelled the
+	// run, and resetting is what keeps per-connection encode memory
+	// bounded on workers that haven't observed the stop yet.
 	drain := func(sh *shard) {
 		wmu.Lock()
-		bw.Write(sh.buf.Bytes())
-		bw.Flush()
-		if flusher != nil {
-			flusher.Flush()
-		}
+		gw.write(sh.buf.Bytes())
 		wmu.Unlock()
 		sh.buf.Reset()
 	}
@@ -484,6 +688,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		// private to this worker (the flusher grabs it 5 times a second),
 		// so the steady-state cost is an uncontended lock, not the old
 		// all-workers sink mutex.
+		if gw.broken.Load() {
+			return // client gone; stop encoding while the cancel propagates
+		}
 		sh := shards[wid]
 		sh.mu.Lock()
 		sh.enc.Encode(hgio.EmbeddingRecord{Embedding: m})
@@ -493,47 +700,55 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		sh.mu.Unlock()
 	}))
 
-	res := s.pool.Run(plan, opts...)
+	res := s.recordRun(req.Graph, s.pool.Run(plan, opts...))
 	close(stopFlush)
 	<-flushDone
 	// The run and the flusher are over: no writers are in flight, so the
-	// remaining shard tails and the summary line need no locking.
+	// remaining shard tails and the summary (or error-trailer) line can
+	// assemble without locking and ship as one guarded write.
+	var tail bytes.Buffer
 	for _, sh := range shards {
 		if sh.buf.Len() > 0 {
-			bw.Write(sh.buf.Bytes())
+			tail.Write(sh.buf.Bytes())
 		}
 	}
-	json.NewEncoder(bw).Encode(summarise(res, plan, cached))
-	bw.Flush()
-	if flusher != nil {
-		flusher.Flush()
-	}
+	json.NewEncoder(&tail).Encode(summarise(res, plan, cached))
+	gw.write(tail.Bytes())
 }
 
 // serveShardedMatch streams a scattered /match. The coordinator merges
 // the shard sub-runs into one deterministic embedding stream (per-unit
 // sorted, unit-order concatenated — identical for every shard count) and
 // replays it through one serialised callback, so this path needs no
-// per-worker shard buffers or background flusher: a single encoder writes
-// the merged lines in order, then the closing summary. The X-Shards
-// header reports the topology without touching the MatchSummary wire
-// shape, keeping sharded and solo bodies byte-comparable.
-func (s *Server) serveShardedMatch(w http.ResponseWriter, sg *hgmatch.ShardedGraph, plan *hgmatch.Plan, cached bool, opts []hgmatch.Option) {
+// per-worker shard buffers or background flusher: a single encoder
+// accumulates merged lines and ships them through the slow-client guard a
+// chunk at a time, then the closing summary (or error trailer). The
+// X-Shards header reports the topology without touching the MatchSummary
+// wire shape, keeping sharded and solo bodies byte-comparable.
+func (s *Server) serveShardedMatch(w http.ResponseWriter, gw *guardedWriter, req *hgio.MatchRequest, sg *hgmatch.ShardedGraph, plan *hgmatch.Plan, cached bool, opts []hgmatch.Option) {
 	s.scatters.Add(1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
 	w.Header().Set("X-Shards", strconv.Itoa(sg.NumShards()))
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	opts = append(opts, hgmatch.WithCallback(func(m []hgmatch.EdgeID) {
+		if gw.broken.Load() {
+			// Client gone: the guard already cancelled the run (which also
+			// stops the scatter claiming new shard units); dropping the
+			// buffer bounds this connection's encode memory meanwhile.
+			buf.Reset()
+			return
+		}
 		enc.Encode(hgio.EmbeddingRecord{Embedding: m})
+		if buf.Len() >= shardFlushBytes {
+			gw.write(buf.Bytes())
+			buf.Reset()
+		}
 	}))
-	res := s.pool.RunSharded(plan, sg, opts...)
-	json.NewEncoder(bw).Encode(summarise(res, plan, cached))
-	bw.Flush()
-	if f, ok := w.(http.Flusher); ok {
-		f.Flush()
-	}
+	res := s.recordRun(req.Graph, s.pool.RunSharded(plan, sg, opts...))
+	enc.Encode(summarise(res, plan, cached))
+	gw.write(buf.Bytes())
 }
 
 // handleCount runs the same pipeline as /match with the sink counting
@@ -554,14 +769,23 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	opts, _ := s.options(r, req)
+	if !s.admitBudget(w, req, plan) {
+		return
+	}
+	opts, _ := s.options(r.Context(), req)
 	var res hgmatch.Result
 	if sg, ok := s.graphs.Sharded(req.Graph); ok {
 		s.scatters.Add(1)
 		w.Header().Set("X-Shards", strconv.Itoa(sg.NumShards()))
-		res = s.pool.RunSharded(plan, sg, opts...)
+		res = s.recordRun(req.Graph, s.pool.RunSharded(plan, sg, opts...))
 	} else {
-		res = s.pool.Run(plan, opts...)
+		res = s.recordRun(req.Graph, s.pool.Run(plan, opts...))
+	}
+	if status, code, ok := runErrStatus(res.Err); ok {
+		// /count has not written its body yet, so failures keep a proper
+		// status code instead of /match's mid-stream trailer.
+		writeErrorCode(w, status, code, "%v", res.Err)
+		return
 	}
 	w.Header().Set("X-Plan-Cache", cacheHeader(cached))
 	writeJSON(w, summarise(res, plan, cached))
@@ -611,6 +835,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ActiveTenants:    s.adm.activeTenants(),
 		WALEnabled:       s.graphs.Durable(),
 		ReadOnlyGraphs:   s.graphs.ReadOnlyCount(),
+		PanicsRecovered:  s.panicsRecovered.Load(),
+		BudgetAborts:     s.budgetAborts.Load(),
+		SlowClientAborts: s.slowClientAborts.Load(),
+		LeakedBlocks:     s.leakedBlocks.Load(),
+		RequestMaxBytes:  s.cfg.RequestMaxBytes,
 	}
 	ts := s.graphs.TierStats()
 	out.GraphsResident = ts.Resident
@@ -632,6 +861,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// handleHealthz is liveness: it answers 200 as long as the process can
+// serve HTTP at all — during boot, drain, degraded serving alike. Restart
+// decisions key on this; routing decisions key on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	size, hits, misses := s.plans.Stats()
 	writeJSON(w, hgio.HealthResponse{
@@ -642,4 +874,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		PlanCacheHits:   hits,
 		PlanCacheMisses: misses,
 	})
+}
+
+// handleReadyz is readiness: 503 while the server should not receive new
+// traffic (boot WAL recovery, shutdown drain), 200 otherwise. A ready
+// server with read-only graphs stays ready but reports the degradation so
+// operators see it without scraping logs.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := hgio.ReadyResponse{Ready: true}
+	if reason := s.notReady.Load(); reason != nil {
+		resp.Ready, resp.Reason = false, *reason
+	}
+	if names := s.graphs.ReadOnlyNames(); len(names) > 0 {
+		resp.Degraded = true
+		resp.ReadOnlyGraphs = names
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
 }

@@ -441,7 +441,7 @@ func TestDefaultWorkersClamped(t *testing.T) {
 	s := New(NewRegistry(), Config{MaxWorkers: 1})
 	r := httptest.NewRequest(http.MethodPost, "/match", nil)
 	var eo engine.Options
-	opts, workers := s.options(r, &hgio.MatchRequest{})
+	opts, workers := s.options(r.Context(), &hgio.MatchRequest{})
 	for _, o := range opts {
 		o(&eo)
 	}

@@ -1,0 +1,159 @@
+package shard_test
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+
+	"hgmatch/internal/engine"
+	"hgmatch/internal/hgtest"
+	"hgmatch/internal/shard"
+)
+
+// chaosScale mirrors the engine battery's gate: the dedicated CI chaos
+// job sets HGMATCH_CHAOS=1 for the full sweep, the default pass runs a
+// fast smoke slice of the same assertions.
+func chaosScale(full, smoke int) int {
+	if os.Getenv("HGMATCH_CHAOS") != "" {
+		return full
+	}
+	return smoke
+}
+
+// TestChaosScatterPanics sweeps randomized panic injection across a
+// scattered run's fault points — inside shard sub-runs ("task", "expand",
+// "sink") and at the gather merge ("gather"). A fired fault must surface
+// as ErrRequestPoisoned on the scatter result with zero leaked blocks;
+// the shared pool must serve the next scatter at full fidelity every
+// time, which is the "one poisoned request detaches alone" contract.
+func TestChaosScatterPanics(t *testing.T) {
+	pool := engine.NewPool(4)
+	defer pool.Close()
+	p, h := wideWorkload(t)
+	g, err := shard.New(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &hgtest.FaultCounter{}
+	base := shard.Scatter(pool, g, p, engine.Options{Workers: 4, FaultHook: counter.Hook})
+	if base.Err != nil || base.Embeddings != 2500 {
+		t.Fatalf("counting scatter: err=%v n=%d", base.Err, base.Embeddings)
+	}
+	if counter.Count("gather") == 0 {
+		t.Fatal("scatter crossed no gather points")
+	}
+	rng := rand.New(rand.NewSource(31))
+	iters := chaosScale(80, 12)
+	fired := 0
+	for i := 0; i < iters; i++ {
+		inj := &hgtest.PanicInjector{Target: 1 + rng.Int63n(counter.Total()*3/4)}
+		opts := engine.Options{Workers: 1 + rng.Intn(4), FaultHook: inj.Hook}
+		if i%3 == 2 {
+			// Every third round takes the Limit gather path instead.
+			opts.Limit = 1 + uint64(rng.Intn(2500))
+		}
+		res := shard.Scatter(pool, g, p, opts)
+		if res.LeakedBlocks != 0 {
+			t.Fatalf("iter %d (target %d): leaked %d blocks", i, inj.Target, res.LeakedBlocks)
+		}
+		if inj.Fired() {
+			fired++
+			if !errors.Is(res.Err, engine.ErrRequestPoisoned) {
+				t.Fatalf("iter %d (target %d): fired but err=%v", i, inj.Target, res.Err)
+			}
+		} else if res.Err != nil {
+			t.Fatalf("iter %d: no fault fired but err=%v", i, res.Err)
+		}
+		// The pool must stay serviceable beside/after every fault.
+		if clean := shard.Scatter(pool, g, p, engine.Options{Workers: 2, Limit: 64}); clean.Err != nil || clean.Embeddings != 64 {
+			t.Fatalf("iter %d: pool degraded after fault: err=%v n=%d", i, clean.Err, clean.Embeddings)
+		}
+	}
+	if fired < iters/2 {
+		t.Errorf("only %d/%d injections fired", fired, iters)
+	}
+	// Full-fidelity check once the storm is over.
+	final := shard.Scatter(pool, g, p, engine.Options{Workers: 4})
+	if final.Err != nil || final.Embeddings != 2500 || final.LeakedBlocks != 0 {
+		t.Fatalf("post-chaos scatter: err=%v n=%d leaked=%d", final.Err, final.Embeddings, final.LeakedBlocks)
+	}
+	t.Logf("scatter battery: %d/%d faults fired", fired, iters)
+}
+
+// TestChaosGatherPanic pins the nastiest injection site: a panic thrown
+// while the gather holds its merge lock. The deferred recover inside the
+// flush must convert it to a poisoned result instead of wedging the
+// gather mutex — a deadlock here would hang every later scatter.
+func TestChaosGatherPanic(t *testing.T) {
+	pool := engine.NewPool(4)
+	defer pool.Close()
+	p, h := wideWorkload(t)
+	g, err := shard.New(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := chaosScale(20, 5)
+	for i := 0; i < iters; i++ {
+		inj := &hgtest.PanicInjector{Point: "gather", Target: int64(i%3) + 1}
+		res := shard.Scatter(pool, g, p, engine.Options{Workers: 4, FaultHook: inj.Hook})
+		if !inj.Fired() {
+			t.Fatalf("iter %d: gather injection never fired", i)
+		}
+		var pe *engine.PoisonedError
+		if !errors.As(res.Err, &pe) || pe.Point != "gather" {
+			t.Fatalf("iter %d: err=%v, want gather poison", i, res.Err)
+		}
+		if res.LeakedBlocks != 0 {
+			t.Fatalf("iter %d: leaked %d blocks", i, res.LeakedBlocks)
+		}
+		// No wedged mutex: the very next scatter completes in full.
+		clean := shard.Scatter(pool, g, p, engine.Options{Workers: 4})
+		if clean.Err != nil || clean.Embeddings != 2500 {
+			t.Fatalf("iter %d: gather wedged: err=%v n=%d", i, clean.Err, clean.Embeddings)
+		}
+	}
+}
+
+// TestChaosScatterBudget sweeps per-request budgets over a scattered run,
+// which charges both the sub-runs' live blocks and the gather window's
+// buffered rows. Aborts must carry ErrBudgetExceeded, leak nothing, and
+// leave the pool serviceable.
+func TestChaosScatterBudget(t *testing.T) {
+	pool := engine.NewPool(4)
+	defer pool.Close()
+	p, h := wideWorkload(t)
+	g, err := shard.New(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockBytes := int64(engine.TaskBlockBytes(p))
+	rng := rand.New(rand.NewSource(32))
+	iters := chaosScale(40, 8)
+	aborted := 0
+	for i := 0; i < iters; i++ {
+		budget := 1 + rng.Int63n(blockBytes*12)
+		opts := engine.Options{Workers: 1 + rng.Intn(4), MaxMemory: budget}
+		if i%2 == 1 {
+			opts.Limit = 1 + uint64(rng.Intn(2500))
+		}
+		res := shard.Scatter(pool, g, p, opts)
+		if res.LeakedBlocks != 0 {
+			t.Fatalf("iter %d (budget %d): leaked %d blocks", i, budget, res.LeakedBlocks)
+		}
+		if res.Err != nil {
+			if !errors.Is(res.Err, engine.ErrBudgetExceeded) {
+				t.Fatalf("iter %d (budget %d): unexpected err %v", i, budget, res.Err)
+			}
+			aborted++
+		}
+	}
+	if aborted == 0 || aborted == iters {
+		t.Errorf("sweep never straddled the bind point: %d/%d aborted", aborted, iters)
+	}
+	final := shard.Scatter(pool, g, p, engine.Options{Workers: 4})
+	if final.Err != nil || final.Embeddings != 2500 {
+		t.Fatalf("post-budget scatter: err=%v n=%d", final.Err, final.Embeddings)
+	}
+	t.Logf("scatter budget battery: %d/%d aborted", aborted, iters)
+}

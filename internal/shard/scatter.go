@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -127,8 +128,10 @@ func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) eng
 		// Sequential with early stop: each unit is fully enumerated, so
 		// the accumulated prefix is the canonical first-n regardless of
 		// how many units (or shards) the run was split into. The buffer
-		// is bounded by Limit plus one unit's overshoot.
+		// is bounded by Limit plus one unit's overshoot, and additionally
+		// by the request's memory budget.
 		var kept [][]hypergraph.EdgeID
+		rowBytes := gatherRowBytes(p)
 		for _, u := range units {
 			if ctxDone(ctx) {
 				res.TimedOut = true
@@ -136,7 +139,18 @@ func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) eng
 			}
 			sub, rows := runUnit(pool, p, &opts, u, true)
 			mergeResult(&res, sub)
+			if sub.Err != nil {
+				// A faulted unit's rows are not the canonical prefix;
+				// keep what earlier units produced and stop scattering.
+				break
+			}
 			kept = append(kept, rows...)
+			if opts.MaxMemory > 0 && int64(len(kept))*rowBytes > opts.MaxMemory {
+				if res.Err == nil {
+					res.Err = engine.ErrBudgetExceeded
+				}
+				break
+			}
 			if uint64(len(kept)) >= opts.Limit {
 				break
 			}
@@ -178,7 +192,15 @@ func Scatter(pool *engine.Pool, g *Graph, p *core.Plan, opts engine.Options) eng
 //   - a claimed unit always runs to completion (cancellation is checked
 //     before claiming, and mid-unit cancellation is the engine's job), so
 //     every started unit's stats are eventually flushed even on abort.
-func scatterParallel(pool *engine.Pool, p *core.Plan, opts *engine.Options, units [][]hypergraph.EdgeID, res *engine.Result, emit func([]hypergraph.EdgeID)) (stopped bool) {
+//
+// Fault containment: a sub-run that returns Result.Err (poisoned,
+// over-budget, pool closed) halts the claim loop — in-flight units finish
+// and flush their stats, no new units start, and the first Err is the
+// scatter's Err. The gather window's buffered rows are charged against
+// opts.MaxMemory, and the flush — which runs the caller's emit callbacks
+// under the gather lock — recovers a panicking callback instead of
+// deadlocking the other lanes on that lock.
+func scatterParallel(pool *engine.Pool, p *core.Plan, opts *engine.Options, units [][]hypergraph.EdgeID, res *engine.Result, emit func([]hypergraph.EdgeID)) (ctxStopped bool) {
 	buffered := opts.OnEmbedding != nil || opts.OnEmbeddingWorker != nil
 	ctx := opts.Context
 	par := pool.Workers()
@@ -201,6 +223,61 @@ func scatterParallel(pool *engine.Pool, p *core.Plan, opts *engine.Options, unit
 	var mu sync.Mutex
 	cond := sync.NewCond(&mu)
 	next, flushed := 0, 0
+	halt := false // stop claiming: ctx cancelled, sub-run Err, or budget
+	var bufBytes int64
+	rowBytes := gatherRowBytes(p)
+
+	// flush records one completed unit and advances the in-order cursor,
+	// streaming each flushable unit's rows. Callbacks may panic; the deferred
+	// recover converts that into a poisoned scatter (halting claims) while
+	// the deferred unlock keeps the gather lock releasable.
+	flush := func(i int, r engine.Result, rows [][]hypergraph.EdgeID) {
+		mu.Lock()
+		defer mu.Unlock()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if res.Err == nil {
+					res.Err = &engine.PoisonedError{Value: rec, Stack: debug.Stack(), Point: "gather"}
+				}
+				halt = true
+				cond.Broadcast()
+			}
+		}()
+		outs[i] = unitOut{res: r, rows: rows, done: true}
+		if buffered {
+			if bufBytes += int64(len(rows)) * rowBytes; opts.MaxMemory > 0 && bufBytes > opts.MaxMemory {
+				if res.Err == nil {
+					res.Err = engine.ErrBudgetExceeded
+				}
+				halt = true
+			}
+		}
+		for flushed < len(units) && outs[flushed].done {
+			o := &outs[flushed]
+			mergeResult(res, o.res)
+			mergeGroups(res, o.res.Groups)
+			peakTasks = append(peakTasks, o.res.PeakTasks)
+			peakBytes = append(peakBytes, o.res.PeakTaskBytes)
+			if hook := opts.FaultHook; hook != nil {
+				hook("gather")
+			}
+			if buffered {
+				bufBytes -= int64(len(o.rows)) * rowBytes
+				res.Embeddings += uint64(len(o.rows))
+				for _, m := range o.rows {
+					emit(m)
+				}
+			} else {
+				res.Embeddings += o.res.Embeddings
+			}
+			*o = unitOut{}
+			flushed++
+		}
+		if res.Err != nil {
+			halt = true
+		}
+		cond.Broadcast()
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
@@ -209,15 +286,15 @@ func scatterParallel(pool *engine.Pool, p *core.Plan, opts *engine.Options, unit
 			defer wg.Done()
 			for {
 				mu.Lock()
-				for next < len(units) && next-flushed >= window && !stopped {
+				for next < len(units) && next-flushed >= window && !halt {
 					cond.Wait()
 				}
-				if next >= len(units) || stopped {
+				if next >= len(units) || halt {
 					mu.Unlock()
 					return
 				}
 				if ctxDone(ctx) {
-					stopped = true
+					halt, ctxStopped = true, true
 					cond.Broadcast()
 					mu.Unlock()
 					return
@@ -228,27 +305,7 @@ func scatterParallel(pool *engine.Pool, p *core.Plan, opts *engine.Options, unit
 
 				r, rows := runUnit(pool, p, opts, units[i], buffered)
 
-				mu.Lock()
-				outs[i] = unitOut{res: r, rows: rows, done: true}
-				for flushed < len(units) && outs[flushed].done {
-					o := &outs[flushed]
-					mergeResult(res, o.res)
-					mergeGroups(res, o.res.Groups)
-					peakTasks = append(peakTasks, o.res.PeakTasks)
-					peakBytes = append(peakBytes, o.res.PeakTaskBytes)
-					if buffered {
-						res.Embeddings += uint64(len(o.rows))
-						for _, m := range o.rows {
-							emit(m)
-						}
-					} else {
-						res.Embeddings += o.res.Embeddings
-					}
-					*o = unitOut{}
-					flushed++
-				}
-				cond.Broadcast()
-				mu.Unlock()
+				flush(i, r, rows)
 			}
 		}()
 	}
@@ -266,7 +323,14 @@ func scatterParallel(pool *engine.Pool, p *core.Plan, opts *engine.Options, unit
 	if s := topSum(peakBytes, par); s > res.PeakTaskBytes {
 		res.PeakTaskBytes = s
 	}
-	return stopped
+	return ctxStopped
+}
+
+// gatherRowBytes is the accounted size of one buffered gather row: a slice
+// header plus |E(q)| edge IDs — the unit the gather window's memory budget
+// is charged in.
+func gatherRowBytes(p *core.Plan) int64 {
+	return 24 + 4*int64(p.NumSteps())
 }
 
 // topSum sums the k largest values.
@@ -315,8 +379,12 @@ func runUnit(pool *engine.Pool, p *core.Plan, opts *engine.Options, unit []hyper
 // Embeddings and Groups are intentionally NOT merged here — their
 // semantics differ between the buffered and streaming paths, so the
 // callers own them. Peaks merge by max, which the parallel path corrects
-// for stacking after the fact (see scatterParallel).
+// for stacking after the fact (see scatterParallel). Err merges
+// first-wins: the first faulted sub-run classifies the scatter.
 func mergeResult(dst *engine.Result, sub engine.Result) {
+	if dst.Err == nil {
+		dst.Err = sub.Err
+	}
 	dst.Counters.Add(sub.Counters)
 	for len(dst.Workers) < len(sub.Workers) {
 		dst.Workers = append(dst.Workers, engine.WorkerStats{})
